@@ -1,0 +1,103 @@
+package qtrtest
+
+import (
+	"fmt"
+	"testing"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/opt"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// exploration budget, histogram-based selectivity, and (in bench_test.go)
+// the monotonicity pruning.
+
+// BenchmarkAblationExplorationBudget sweeps the memo's expression cap and
+// reports the chosen plan's estimated cost: larger budgets buy better plans
+// until exploration saturates.
+func BenchmarkAblationExplorationBudget(b *testing.B) {
+	db := benchDB()
+	q := `SELECT * FROM (SELECT * FROM lineitem
+		JOIN orders ON l_orderkey = o_orderkey
+		JOIN customer ON o_custkey = c_custkey
+		JOIN nation ON c_nationkey = n_nationkey) AS t
+		WHERE l_quantity = 1 AND n_regionkey = 0`
+	bound, err := bind.BindSQL(q, db.Catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cap := range []int{100, 300, 600, 1200, 2400} {
+		b.Run(fmt.Sprintf("maxExprs=%d", cap), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := db.Optimizer.Optimize(bound.Tree, bound.MD, opt.Options{MaxExprs: cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "plan-cost")
+		})
+	}
+}
+
+// BenchmarkAblationHistograms compares cardinality-estimation quality (worst
+// Q-error over the plan) with histograms on and off, on a range-heavy query.
+func BenchmarkAblationHistograms(b *testing.B) {
+	db := benchDB()
+	q := "SELECT l_suppkey, COUNT(*) AS n FROM lineitem WHERE l_quantity <= 5 GROUP BY l_suppkey"
+	bound, err := bind.BindSQL(q, db.Catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		name := "with-histograms"
+		if disable {
+			name = "without-histograms"
+		}
+		b.Run(name, func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				res, err := db.Optimizer.Optimize(bound.Tree, bound.MD, opt.Options{DisableHistograms: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := exec.RunAnalyze(res.Plan, db.Catalog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = stats.MaxQError()
+			}
+			b.ReportMetric(worst, "max-q-error")
+		})
+	}
+}
+
+// TestHistogramsImproveEstimates is the ablation as a regression test: on a
+// selective range predicate, histogram-backed estimation must have a
+// strictly smaller worst Q-error than the distinct-count fallback.
+func TestHistogramsImproveEstimates(t *testing.T) {
+	db := OpenTPCH(1.0, 42)
+	q := "SELECT l_suppkey, COUNT(*) AS n FROM lineitem WHERE l_quantity <= 3 GROUP BY l_suppkey"
+	bound, err := bind.BindSQL(q, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qerr := func(disable bool) float64 {
+		res, err := db.Optimizer.Optimize(bound.Tree, bound.MD, opt.Options{DisableHistograms: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := exec.RunAnalyze(res.Plan, db.Catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MaxQError()
+	}
+	with := qerr(false)
+	without := qerr(true)
+	if with >= without {
+		t.Errorf("histograms did not improve estimation: with %.2f, without %.2f", with, without)
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's evaluation figures (§6,
+// Figures 8–14).
+//
+// Usage:
+//
+//	experiments [-fig N] [-quick] [-seed S] [-scale F] [-trials T]
+//
+// Without -fig, every figure runs in order. -quick shrinks rule counts and
+// suite sizes so the whole set finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qtrtest/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to run (8-14); 0 runs all")
+	quick := flag.Bool("quick", false, "shrink experiment sizes for a fast run")
+	seed := flag.Int64("seed", 42, "random seed")
+	scale := flag.Float64("scale", 1.0, "TPC-H row scale")
+	trials := flag.Int("trials", 256, "max generation trials per target")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, ScaleRows: *scale, Quick: *quick, MaxTrials: *trials}
+	r := experiments.NewRunner(cfg)
+	w := os.Stdout
+
+	run := func(n int) bool { return *fig == 0 || *fig == n }
+	start := time.Now()
+
+	if run(8) {
+		res, err := r.Fig8()
+		exitOn(err)
+		res.Print(w)
+		fmt.Fprintln(w)
+	}
+	if run(9) || run(10) {
+		res, err := r.Fig9And10()
+		exitOn(err)
+		if run(9) {
+			experiments.PrintFig9(w, res)
+			fmt.Fprintln(w)
+		}
+		if run(10) {
+			experiments.PrintFig10(w, res)
+			fmt.Fprintln(w)
+		}
+	}
+	if run(11) {
+		rows, err := r.Fig11()
+		exitOn(err)
+		experiments.PrintCompression(w, "Figure 11: suite compression, singleton rules (total estimated cost, k=10)", rows, false)
+		fmt.Fprintln(w)
+	}
+	if run(12) {
+		rows, err := r.Fig12()
+		exitOn(err)
+		experiments.PrintCompression(w, "Figure 12: suite compression, rule pairs (total estimated cost, k=10)", rows, false)
+		fmt.Fprintln(w)
+	}
+	if run(13) {
+		rows, err := r.Fig13()
+		exitOn(err)
+		experiments.PrintCompression(w, "Figure 13: suite compression vs test-suite size k (rule pairs)", rows, true)
+		fmt.Fprintln(w)
+	}
+	if run(14) {
+		rows, err := r.Fig14()
+		exitOn(err)
+		experiments.PrintFig14(w, rows)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

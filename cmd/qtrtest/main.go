@@ -1,0 +1,361 @@
+// Command qtrtest is the command-line interface to the rule-testing
+// framework: list rules and patterns, generate rule-targeted queries, run
+// queries, and build/compress/execute correctness test suites.
+//
+// Usage:
+//
+//	qtrtest rules
+//	qtrtest patterns [-rule 14]
+//	qtrtest generate -rule 14 [-pair 1] [-method pattern|random] [-extra 3]
+//	qtrtest ruleset -q "SELECT ..."
+//	qtrtest explain -q "SELECT ..." [-disable 5,6]
+//	qtrtest analyze -q "SELECT ..."
+//	qtrtest query -q "SELECT ..."
+//	qtrtest suite -n 10 -k 5 [-pairs] [-algo topk|smc|baseline|matching] [-validate]
+//	qtrtest interactions -n 8 [-per 3]
+//
+// Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qtrtest"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "test database row scale")
+	seed := flag.Int64("seed", 42, "random seed")
+	schema := flag.String("db", "tpch", "test database: tpch or star")
+	ext := flag.Bool("ext", false, "enable the schema-dependent extension rules (31-34)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var db *qtrtest.DB
+	switch *schema {
+	case "tpch":
+		db = qtrtest.OpenTPCH(*scale, *seed)
+	case "star":
+		db = qtrtest.OpenStar(*scale, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "qtrtest: unknown database %q (tpch or star)\n", *schema)
+		os.Exit(2)
+	}
+	if *ext {
+		db = qtrtest.Open(db.Catalog, qtrtest.RegistryWithExtensions())
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "rules":
+		err = cmdRules(db)
+	case "patterns":
+		err = cmdPatterns(db, rest)
+	case "generate":
+		err = cmdGenerate(db, rest, *seed)
+	case "ruleset":
+		err = cmdRuleSet(db, rest)
+	case "explain":
+		err = cmdExplain(db, rest)
+	case "analyze":
+		err = cmdAnalyze(db, rest)
+	case "query":
+		err = cmdQuery(db, rest)
+	case "suite":
+		err = cmdSuite(db, rest, *seed)
+	case "interactions":
+		err = cmdInteractions(db, rest, *seed)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtrtest:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions> [flags]")
+	os.Exit(2)
+}
+
+func cmdRules(db *qtrtest.DB) error {
+	fmt.Printf("%-4s %-15s %-28s %s\n", "id", "kind", "name", "pattern")
+	for _, r := range db.Registry.All() {
+		fmt.Printf("%-4d %-15s %-28s %s\n", r.ID(), r.Kind(), r.Name(), r.Pattern())
+	}
+	return nil
+}
+
+func cmdPatterns(db *qtrtest.DB, args []string) error {
+	fs := flag.NewFlagSet("patterns", flag.ExitOnError)
+	rule := fs.Int("rule", 0, "rule id (0 = all, as a ruleset document)")
+	fs.Parse(args)
+	if *rule == 0 {
+		data, err := db.Registry.ExportXML()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	r, err := db.Registry.ByID(qtrtest.RuleID(*rule))
+	if err != nil {
+		return err
+	}
+	data, err := qtrtest.PatternXML(r.Pattern())
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func cmdGenerate(db *qtrtest.DB, args []string, seed int64) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	rule := fs.Int("rule", 0, "target rule id")
+	pair := fs.Int("pair", 0, "second rule id for a rule pair")
+	method := fs.String("method", "pattern", "pattern or random")
+	extra := fs.Int("extra", 0, "extra random operators")
+	trials := fs.Int("trials", 512, "max trials")
+	relevant := fs.Bool("relevant", false, "require the rule to change the chosen plan (§7)")
+	interact := fs.Bool("interact", false, "require -pair to fire on -rule's output (§7)")
+	fs.Parse(args)
+	if *rule == 0 {
+		return fmt.Errorf("generate: -rule is required")
+	}
+	gen, err := db.NewGenerator(qtrtest.GenConfig{Seed: seed, MaxTrials: *trials, ExtraOps: *extra})
+	if err != nil {
+		return err
+	}
+	var q *qtrtest.GeneratedQuery
+	switch {
+	case *relevant:
+		q, err = gen.GenerateRelevant(qtrtest.RuleID(*rule))
+	case *interact:
+		if *pair == 0 {
+			return fmt.Errorf("generate: -interact requires -pair")
+		}
+		q, err = gen.GenerateInteractionPair(qtrtest.RuleID(*rule), qtrtest.RuleID(*pair))
+	case *method == "random":
+		target := []qtrtest.RuleID{qtrtest.RuleID(*rule)}
+		if *pair != 0 {
+			target = append(target, qtrtest.RuleID(*pair))
+		}
+		q, err = gen.GenerateRandom(target)
+	case *pair != 0:
+		q, err = gen.GeneratePatternPair(qtrtest.RuleID(*rule), qtrtest.RuleID(*pair))
+	default:
+		q, err = gen.GeneratePattern(qtrtest.RuleID(*rule))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- trials: %d  elapsed: %s  ops: %d  est. cost: %.1f\n",
+		q.Trials, q.Elapsed, q.Tree.CountOps(), q.Cost)
+	fmt.Printf("-- RuleSet: %v\n", q.RuleSet.Sorted())
+	fmt.Println(q.SQL)
+	return nil
+}
+
+func cmdRuleSet(db *qtrtest.DB, args []string) error {
+	fs := flag.NewFlagSet("ruleset", flag.ExitOnError)
+	q := fs.String("q", "", "SQL query")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("ruleset: -q is required")
+	}
+	rs, err := db.RuleSetOf(*q)
+	if err != nil {
+		return err
+	}
+	for _, id := range rs.Sorted() {
+		r, err := db.Registry.ByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4d %-15s %s\n", id, r.Kind(), r.Name())
+	}
+	return nil
+}
+
+func parseIDs(s string) ([]qtrtest.RuleID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []qtrtest.RuleID
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad rule id %q", part)
+		}
+		out = append(out, qtrtest.RuleID(n))
+	}
+	return out, nil
+}
+
+func cmdExplain(db *qtrtest.DB, args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	q := fs.String("q", "", "SQL query")
+	disable := fs.String("disable", "", "comma-separated rule ids to disable")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("explain: -q is required")
+	}
+	ids, err := parseIDs(*disable)
+	if err != nil {
+		return err
+	}
+	plan, err := db.Explain(*q, ids...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan)
+	return nil
+}
+
+func cmdAnalyze(db *qtrtest.DB, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	q := fs.String("q", "", "SQL query")
+	disable := fs.String("disable", "", "comma-separated rule ids to disable")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("analyze: -q is required")
+	}
+	ids, err := parseIDs(*disable)
+	if err != nil {
+		return err
+	}
+	rows, stats, err := db.Analyze(*q, ids...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats)
+	fmt.Printf("(%d rows, worst q-error %.1f)\n", len(rows), stats.MaxQError())
+	return nil
+}
+
+func cmdQuery(db *qtrtest.DB, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	q := fs.String("q", "", "SQL query")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("query: -q is required")
+	}
+	rows, names, err := db.Query(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(qtrtest.FormatRows(rows, names))
+	fmt.Printf("(%d rows)\n", len(rows))
+	return nil
+}
+
+// cmdInteractions prints the observed rule-interaction matrix (§7: rule r2
+// exercised on an expression created by rule r1) over a coverage campaign.
+func cmdInteractions(db *qtrtest.DB, args []string, seed int64) error {
+	fs := flag.NewFlagSet("interactions", flag.ExitOnError)
+	n := fs.Int("n", 8, "number of exploration rules")
+	per := fs.Int("per", 3, "queries generated per rule")
+	fs.Parse(args)
+	gen, err := db.NewGenerator(qtrtest.GenConfig{Seed: seed, MaxTrials: 256, ExtraOps: 2})
+	if err != nil {
+		return err
+	}
+	ids := db.ExplorationRuleIDs(*n)
+	seen := make(map[[2]qtrtest.RuleID]int)
+	for _, id := range ids {
+		for k := 0; k < *per; k++ {
+			q, err := gen.GeneratePattern(id)
+			if err != nil {
+				continue
+			}
+			res, err := db.Optimizer.Optimize(q.Tree, q.MD, qtrtest.OptimizeOptions{})
+			if err != nil {
+				return err
+			}
+			for pair := range res.Interactions {
+				seen[pair]++
+			}
+		}
+	}
+	fmt.Printf("observed rule interactions over %d queries (creator -> fired, count):\n", len(ids)**per)
+	for _, a := range ids {
+		for _, b := range ids {
+			if c := seen[[2]qtrtest.RuleID{a, b}]; c > 0 {
+				ra, _ := db.Registry.ByID(a)
+				rb, _ := db.Registry.ByID(b)
+				fmt.Printf("  %-26s -> %-26s %d\n", ra.Name(), rb.Name(), c)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdSuite(db *qtrtest.DB, args []string, seed int64) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	n := fs.Int("n", 10, "number of exploration rules")
+	k := fs.Int("k", 5, "test-suite size per target")
+	pairs := fs.Bool("pairs", false, "test rule pairs instead of singletons")
+	algo := fs.String("algo", "topk", "topk, topk-mono, smc, baseline or matching")
+	extra := fs.Int("extra", 3, "extra random operators per query")
+	validate := fs.Bool("validate", false, "execute the compressed suite and compare results")
+	fs.Parse(args)
+
+	ids := db.ExplorationRuleIDs(*n)
+	var targets []qtrtest.Target
+	if *pairs {
+		targets = qtrtest.PairTargets(ids)
+	} else {
+		targets = qtrtest.SingletonTargets(ids)
+	}
+	fmt.Printf("generating suite: %d targets, k=%d ...\n", len(targets), *k)
+	g, err := db.GenerateSuite(targets, qtrtest.SuiteConfig{K: *k, Seed: seed, ExtraOps: *extra})
+	if err != nil {
+		return err
+	}
+	var sol *qtrtest.Solution
+	switch *algo {
+	case "topk":
+		sol, err = g.TopKIndependent()
+	case "topk-mono":
+		sol, err = g.TopKMonotonic()
+	case "smc":
+		sol, err = g.SetMultiCover()
+	case "baseline":
+		sol, err = g.Baseline()
+	case "matching":
+		sol, err = g.MatchingNoShare()
+	default:
+		return fmt.Errorf("suite: unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	distinct := map[int]bool{}
+	for _, a := range sol.Assignments {
+		distinct[a.Query] = true
+	}
+	fmt.Printf("%s: %d assignments over %d distinct queries (of %d generated)\n",
+		sol.Name, len(sol.Assignments), len(distinct), len(g.Queries))
+	fmt.Printf("total estimated execution cost: %.0f (optimizer calls: %d)\n",
+		sol.TotalCost, sol.OptimizerCalls)
+	if *validate {
+		rep, err := g.Run(sol, db.Optimizer, db.Catalog)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("validation: %d plan executions, %d skipped (identical plans), %d mismatches\n",
+			rep.PlanExecutions, rep.SkippedIdentical, len(rep.Mismatches))
+		for _, m := range rep.Mismatches {
+			fmt.Printf("  BUG target %s: %s\n      %s\n", m.Target, m.Detail, m.Query.SQL)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Bughunt: fault injection. We register a deliberately WRONG transformation
+// rule — it pushes filter conjuncts that reference the null-extended side
+// below a LEFT OUTER JOIN, which changes results whenever the filter would
+// have removed null-extended rows — and show that the paper's correctness
+// methodology (§2.3: compare Plan(q) with Plan(q,¬{r})) catches it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qtrtest"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/scalar"
+)
+
+// buggyRuleID is chosen outside the built-in ID ranges (1-30, 101-117).
+const buggyRuleID = 900
+
+func buggyRule() qtrtest.Rule {
+	pattern := qtrtest.PatternNode(logical.OpSelect,
+		qtrtest.PatternNode(logical.OpLeftJoin, qtrtest.PatternAny(), qtrtest.PatternAny()))
+	return qtrtest.NewExplorationRule(buggyRuleID, "BuggyPushSelectBelowLeftJoinRight", pattern,
+		func(ctx *qtrtest.RuleContext, b *qtrtest.BoundExpr) []*qtrtest.BoundExpr {
+			join := b.Kids[0]
+			right := ctx.Memo.Cols(join.Kids[1])
+			var within, rest []scalar.Expr
+			for _, c := range scalar.Conjuncts(b.Node.Filter) {
+				if scalar.ReferencedCols(c).SubsetOf(right) {
+					within = append(within, c)
+				} else {
+					rest = append(rest, c)
+				}
+			}
+			if len(within) == 0 {
+				return nil
+			}
+			// WRONG: filtering the right input of a left outer join is not
+			// equivalent to filtering its output — null-extended rows that
+			// the filter would drop survive in this rewrite.
+			newRight := qtrtest.NewBound(&logical.Expr{
+				Op: logical.OpSelect, Filter: scalar.MakeAnd(within),
+			}, join.Kids[1])
+			newJoin := qtrtest.NewBound(&logical.Expr{
+				Op: logical.OpLeftJoin, On: join.Node.On,
+			}, join.Kids[0], newRight)
+			if len(rest) == 0 {
+				return []*qtrtest.BoundExpr{newJoin}
+			}
+			return []*qtrtest.BoundExpr{qtrtest.NewBound(&logical.Expr{
+				Op: logical.OpSelect, Filter: scalar.MakeAnd(rest),
+			}, newJoin)}
+		})
+}
+
+func main() {
+	cat := qtrtest.OpenTPCH(1.0, 42).Catalog
+	db := qtrtest.Open(cat, qtrtest.RegistryWith(buggyRule()))
+	fmt.Println("injected buggy rule 900: BuggyPushSelectBelowLeftJoinRight")
+
+	// Part 1: the paper's correctness methodology on one crafted query. The
+	// filter references the null-extended side but is NOT null-rejecting
+	// (the IS NULL disjunct), so the sound simplification rules stay out
+	// and the buggy pushdown is the cheapest rewrite.
+	q := "SELECT n_name, s_name FROM nation LEFT JOIN supplier ON n_nationkey = s_nationkey " +
+		"WHERE s_acctbal > 4000 OR s_name IS NULL"
+	rs, err := db.RuleSetOf(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery: %s\nbuggy rule exercised: %v\n", q, rs.Contains(buggyRuleID))
+
+	withRule, _, err := db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withoutRule, err := db.QueryDisabled(q, buggyRuleID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Plan(q) rows: %d   Plan(q,¬{900}) rows: %d   identical: %v\n",
+		len(withRule), len(withoutRule), qtrtest.EqualResults(withRule, withoutRule))
+	if !qtrtest.EqualResults(withRule, withoutRule) {
+		fmt.Println("=> correctness bug detected: disabling the rule changes the results")
+	}
+
+	// Part 2: the automated campaign — generate a suite targeting the buggy
+	// rule and run it.
+	fmt.Println("\nautomated suite targeting rule 900 (k=8)...")
+	g, err := db.GenerateSuite(
+		[]qtrtest.Target{{Rules: []qtrtest.RuleID{buggyRuleID}}},
+		qtrtest.SuiteConfig{K: 8, Seed: 3, ExtraOps: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := g.TopKIndependent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := g.Run(sol, db.Optimizer, db.Catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d plans (%d skipped as identical), bugs found: %d\n",
+		rep.PlanExecutions, rep.SkippedIdentical, len(rep.Mismatches))
+	for _, m := range rep.Mismatches {
+		fmt.Printf("  BUG %s: %s\n  query: %s\n", m.Target, m.Detail, m.Query.SQL)
+	}
+}

@@ -1,0 +1,54 @@
+// Estimation: inspect the optimizer's cardinality estimation quality with
+// the EXPLAIN ANALYZE instrumentation — per-operator estimated versus actual
+// rows and Q-errors — and show the effect of the equi-depth histograms by
+// re-optimizing with them disabled. Runs against both test databases.
+//
+// Cardinality estimation is one of the other optimizer-testing dimensions
+// the paper names in its introduction (alongside rule testing); this example
+// shows the instrumentation this repository ships for it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qtrtest"
+	"qtrtest/internal/bind"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/opt"
+)
+
+func analyzeBoth(db *qtrtest.DB, sql string) {
+	fmt.Printf("query: %s\n", sql)
+	bound, err := bind.BindSQL(sql, db.Catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		res, err := db.Optimizer.Optimize(bound.Tree, bound.MD, opt.Options{DisableHistograms: disable})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := exec.RunAnalyze(res.Plan, db.Catalog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "with histograms"
+		if disable {
+			label = "without histograms"
+		}
+		fmt.Printf("\n-- %s (worst q-error %.2f):\n%s", label, stats.MaxQError(), stats)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("== TPC-H ==")
+	tpch := qtrtest.OpenTPCH(1.0, 42)
+	analyzeBoth(tpch, "SELECT l_suppkey, COUNT(*) AS n FROM lineitem WHERE l_quantity <= 5 GROUP BY l_suppkey")
+	analyzeBoth(tpch, "SELECT c_name FROM customer JOIN orders ON c_custkey = o_custkey WHERE o_totalprice BETWEEN 10000 AND 50000")
+
+	fmt.Println("== star schema ==")
+	star := qtrtest.OpenStar(1.0, 42)
+	analyzeBoth(star, "SELECT s_channel, SUM(f_amount) AS amt FROM sales JOIN store ON f_storekey = s_storekey WHERE f_quantity <= 4 GROUP BY s_channel")
+}

@@ -1,0 +1,3 @@
+module qtrtest
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package catalog defines the test database: schemas, tables, statistics and
+// the in-memory data they hold. The paper's framework takes a fixed test
+// database as input (§2.3); we provide a deterministic scaled-down TPC-H
+// instance as the default.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"qtrtest/internal/datum"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name     string
+	Type     datum.Type
+	Nullable bool
+}
+
+// ForeignKey records that Columns of this table reference RefColumns of
+// RefTable. Rules such as star-join optimizations consult these.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Stats summarizes a table for cardinality estimation.
+type Stats struct {
+	RowCount int64
+	// DistinctCount maps column name to an estimate of its number of
+	// distinct values.
+	DistinctCount map[string]int64
+	// Histograms maps numeric column names to equi-depth histograms used
+	// for range-predicate selectivity.
+	Histograms map[string]*Histogram
+}
+
+// Table is a named relation with columns, optional keys and in-memory rows.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string // column names; empty if none
+	ForeignKeys []ForeignKey
+	Rows        []datum.Row
+	Stats       Stats
+
+	colIdx map[string]int
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if t.colIdx == nil {
+		t.colIdx = make(map[string]int, len(t.Columns))
+		for i, c := range t.Columns {
+			t.colIdx[c.Name] = i
+		}
+	}
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// IsKey reports whether the given column set contains the primary key (and
+// therefore functionally determines the row).
+func (t *Table) IsKey(cols map[string]bool) bool {
+	if len(t.PrimaryKey) == 0 {
+		return false
+	}
+	for _, k := range t.PrimaryKey {
+		if !cols[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeStats scans the rows and fills in Stats.
+func (t *Table) ComputeStats() {
+	st := Stats{RowCount: int64(len(t.Rows)), DistinctCount: make(map[string]int64, len(t.Columns))}
+	for i, c := range t.Columns {
+		seen := make(map[string]bool)
+		for _, r := range t.Rows {
+			seen[r[i].String()] = true
+		}
+		st.DistinctCount[c.Name] = int64(len(seen))
+	}
+	t.Stats = st
+	t.ComputeHistograms()
+}
+
+// Catalog is a set of tables forming the test database.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table; it replaces any existing table of the same name.
+func (c *Catalog) Add(t *Table) {
+	c.tables[t.Name] = t
+}
+
+// Table returns the named table or an error.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// MustTable returns the named table and panics if absent; for use by code
+// that has already validated the name (e.g. the TPC-H loader's own tests).
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames returns all table names in sorted order for deterministic
+// iteration by generators.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumTables returns the number of tables.
+func (c *Catalog) NumTables() int { return len(c.tables) }

@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qtrtest/internal/datum"
+)
+
+func intRows(vals ...int64) []datum.Row {
+	rows := make([]datum.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = datum.Row{datum.NewInt(v)}
+	}
+	return rows
+}
+
+// trueSelectivity counts the exact fraction of rows with value < v (or <=).
+func trueSelectivity(vals []int64, v float64, orEqual bool) float64 {
+	n := 0
+	for _, x := range vals {
+		f := float64(x)
+		if f < v || (orEqual && f == v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vals))
+}
+
+func TestHistogramUniform(t *testing.T) {
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i)
+	}
+	h := BuildHistogram(intRows(vals...), 0, 16)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	for _, v := range []float64{0, 100, 250.5, 500, 999, 1500} {
+		got := h.SelectivityLT(v, false)
+		want := trueSelectivity(vals, v, false)
+		if diff := got - want; diff > 0.05 || diff < -0.05 {
+			t.Errorf("SelectivityLT(%g) = %.3f, true %.3f", v, got, want)
+		}
+	}
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	// 900 copies of 5, then 100 spread values.
+	var vals []int64
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 5)
+	}
+	for i := int64(0); i < 100; i++ {
+		vals = append(vals, 100+i)
+	}
+	h := BuildHistogram(intRows(vals...), 0, 16)
+	eq := h.SelectivityEQ(5)
+	if eq < 0.5 {
+		t.Errorf("SelectivityEQ(5) = %.3f, want >= 0.5 for heavy value", eq)
+	}
+	lt := h.SelectivityLT(50, false)
+	if lt < 0.8 || lt > 1.0 {
+		t.Errorf("SelectivityLT(50) = %.3f, want ~0.9", lt)
+	}
+}
+
+func TestHistogramNulls(t *testing.T) {
+	rows := intRows(1, 2, 3, 4)
+	rows = append(rows, datum.Row{datum.Null}, datum.Row{datum.Null})
+	h := BuildHistogram(rows, 0, 4)
+	if h.NullCount != 2 || h.TotalCount != 6 {
+		t.Fatalf("null accounting wrong: %+v", h)
+	}
+	// All 4 non-null values are < 10, but 2/6 rows are NULL.
+	if got := h.SelectivityLT(10, false); got < 0.6 || got > 0.7 {
+		t.Errorf("SelectivityLT(10) = %.3f, want 4/6", got)
+	}
+}
+
+func TestHistogramEmptyAndNonNumeric(t *testing.T) {
+	h := BuildHistogram(nil, 0, 4)
+	if h == nil || h.TotalCount != 0 {
+		t.Error("empty histogram should exist with zero counts")
+	}
+	if h.SelectivityLT(5, true) != 0 || h.SelectivityEQ(5) != 0 {
+		t.Error("empty histogram selectivities must be 0")
+	}
+	strRows := []datum.Row{{datum.NewString("a")}}
+	if BuildHistogram(strRows, 0, 4) != nil {
+		t.Error("string column must not build a numeric histogram")
+	}
+}
+
+// Property: selectivity estimates are within a tolerance of the truth for
+// random integer data (equi-depth histograms bound per-bucket error).
+func TestHistogramAccuracyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + r.Intn(400)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(100))
+		}
+		h := BuildHistogram(intRows(vals...), 0, 16)
+		v := float64(r.Intn(120) - 10)
+		got := h.SelectivityLT(v, false)
+		want := trueSelectivity(vals, v, false)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SelectivityLT is monotone in v.
+func TestHistogramMonotoneProperty(t *testing.T) {
+	vals := make([]int64, 500)
+	r := rand.New(rand.NewSource(9))
+	for i := range vals {
+		vals[i] = int64(r.Intn(1000))
+	}
+	h := BuildHistogram(intRows(vals...), 0, 8)
+	prev := -1.0
+	for v := -10.0; v <= 1010; v += 7 {
+		s := h.SelectivityLT(v, false)
+		if s < prev-1e-9 {
+			t.Fatalf("SelectivityLT not monotone at %g: %f < %f", v, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestTPCHHistogramsBuilt(t *testing.T) {
+	c := LoadTPCH(DefaultTPCHConfig())
+	li := c.MustTable("lineitem")
+	h := li.Stats.Histograms["l_quantity"]
+	if h == nil {
+		t.Fatal("lineitem.l_quantity has no histogram")
+	}
+	if h.TotalCount != li.Stats.RowCount {
+		t.Errorf("histogram row count %d != table %d", h.TotalCount, li.Stats.RowCount)
+	}
+	// quantity is uniform on [1,50]: P(q < 26) ~ 0.5.
+	if s := h.SelectivityLT(26, false); s < 0.35 || s > 0.65 {
+		t.Errorf("P(l_quantity < 26) = %.3f, want ~0.5", s)
+	}
+	if c.MustTable("nation").Stats.Histograms["n_name"] != nil {
+		t.Error("string column must have no histogram")
+	}
+}

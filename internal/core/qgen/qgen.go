@@ -1,0 +1,251 @@
+// Package qgen implements the paper's query generation module (§3): given a
+// transformation rule (or rule pair), generate a SQL query that exercises it
+// when optimized.
+//
+// Two methods are provided:
+//
+//   - RANDOM: the state-of-the-art baseline [1][17] — generate stochastic
+//     queries until one exercises the target rules.
+//   - PATTERN: the paper's contribution — fetch the rule's pattern through
+//     the optimizer's XML API, instantiate its generic operators and
+//     arguments into a concrete logical query tree, emit SQL, and verify
+//     via RuleSet(q). For rule pairs, compose the two patterns (§3.2).
+//
+// Both methods run the full pipeline per trial (tree → SQL → parse → bind →
+// optimize), exactly like the paper's prototype on a real server.
+package qgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/rules"
+	"qtrtest/internal/sqlgen"
+)
+
+// Config tunes a Generator.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// MaxTrials bounds the attempts per target before giving up (default
+	// 512).
+	MaxTrials int
+	// ExtraOps pads each generated query with this many additional random
+	// operators (§2.3's complexity constraint), used when generating
+	// correctness-test queries that should be non-trivial.
+	ExtraOps int
+}
+
+// Query is a generated test case.
+type Query struct {
+	SQL     string
+	Tree    *logical.Expr
+	MD      *logical.Metadata
+	RuleSet rules.Set
+	// Cost is the optimizer-estimated cost of the best plan (all rules on).
+	Cost float64
+	// Trials is the number of attempts needed to find this query.
+	Trials int
+	// Elapsed is the wall-clock time spent, including failed trials.
+	Elapsed time.Duration
+}
+
+// ErrExhausted is returned when MaxTrials attempts did not produce a query
+// exercising the target rules.
+var ErrExhausted = errors.New("qgen: trial budget exhausted without exercising the target rules")
+
+// Generator produces rule-targeted test queries.
+type Generator struct {
+	opt      *opt.Optimizer
+	cfg      Config
+	rng      *rand.Rand
+	patterns map[rules.ID]*rules.Pattern
+}
+
+// New builds a generator. The rule patterns are fetched through the
+// registry's XML export — the DBMS API surface of §3.1 — rather than by
+// linking to the rule implementations.
+func New(o *opt.Optimizer, cfg Config) (*Generator, error) {
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = 512
+	}
+	data, err := o.Registry().ExportXML()
+	if err != nil {
+		return nil, fmt.Errorf("qgen: exporting rule patterns: %w", err)
+	}
+	exported, err := rules.ParseExportXML(data)
+	if err != nil {
+		return nil, fmt.Errorf("qgen: parsing rule patterns: %w", err)
+	}
+	pats := make(map[rules.ID]*rules.Pattern, len(exported))
+	for _, er := range exported {
+		pats[er.ID] = er.Pattern
+	}
+	return &Generator{
+		opt:      o,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		patterns: pats,
+	}, nil
+}
+
+// Pattern returns the exported pattern for a rule id.
+func (g *Generator) Pattern(id rules.ID) (*rules.Pattern, error) {
+	p, ok := g.patterns[id]
+	if !ok {
+		return nil, fmt.Errorf("qgen: no pattern for rule %d", id)
+	}
+	return p, nil
+}
+
+// tryTree runs one trial: render the tree to SQL, parse and bind it, and
+// optimize. It reports whether all target rules were exercised.
+func (g *Generator) tryTree(tree *logical.Expr, md *logical.Metadata, target []rules.ID) (*Query, bool, error) {
+	sqlText, err := sqlgen.Generate(tree, md)
+	if err != nil {
+		return nil, false, err
+	}
+	bound, err := bind.BindSQL(sqlText, g.opt.Catalog())
+	if err != nil {
+		return nil, false, fmt.Errorf("qgen: generated SQL failed to bind: %w\nSQL: %s", err, sqlText)
+	}
+	res, err := g.opt.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	for _, id := range target {
+		if !res.RuleSet.Contains(id) {
+			return nil, false, nil
+		}
+	}
+	return &Query{
+		SQL: sqlText, Tree: bound.Tree, MD: bound.MD,
+		RuleSet: res.RuleSet, Cost: res.Cost,
+	}, true, nil
+}
+
+// GenerateRandom is the RANDOM method: stochastic queries until one
+// exercises every rule in target.
+func (g *Generator) GenerateRandom(target []rules.ID) (*Query, error) {
+	start := time.Now()
+	for trial := 1; trial <= g.cfg.MaxTrials; trial++ {
+		md := logical.NewMetadata(g.opt.Catalog())
+		tree, err := g.randomTree(md, 2+g.rng.Intn(5)+g.cfg.ExtraOps)
+		if err != nil {
+			return nil, err
+		}
+		q, ok, err := g.tryTree(tree, md, target)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			q.Trials = trial
+			q.Elapsed = time.Since(start)
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (RANDOM, target %v, %d trials)", ErrExhausted, target, g.cfg.MaxTrials)
+}
+
+// GeneratePattern is the PATTERN method for a single rule.
+func (g *Generator) GeneratePattern(id rules.ID) (*Query, error) {
+	p, err := g.Pattern(id)
+	if err != nil {
+		return nil, err
+	}
+	return g.generateFromPatterns([]rules.ID{id}, []*rules.Pattern{p})
+}
+
+// GeneratePatternPair is the PATTERN method for a rule pair: the two rule
+// patterns are composed (§3.2) and instantiated; among candidate
+// compositions the query with the fewest operators that exercises both rules
+// wins.
+func (g *Generator) GeneratePatternPair(a, b rules.ID) (*Query, error) {
+	pa, err := g.Pattern(a)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := g.Pattern(b)
+	if err != nil {
+		return nil, err
+	}
+	comps := ComposePatterns(pa, pb)
+	return g.generateFromPatterns([]rules.ID{a, b}, comps)
+}
+
+// generateFromPatterns rotates through candidate patterns, instantiating
+// each with fresh random arguments per trial.
+func (g *Generator) generateFromPatterns(target []rules.ID, candidates []*rules.Pattern) (*Query, error) {
+	start := time.Now()
+	var best *Query
+	for trial := 1; trial <= g.cfg.MaxTrials; trial++ {
+		p := candidates[(trial-1)%len(candidates)]
+		md := logical.NewMetadata(g.opt.Catalog())
+		tree, err := g.instantiate(p, md)
+		if err != nil {
+			// Some compositions cannot be instantiated against this catalog
+			// (e.g. no type-compatible columns); try the next.
+			continue
+		}
+		for i := 0; i < g.cfg.ExtraOps; i++ {
+			tree, err = g.wrapRandomOp(tree, md)
+			if err != nil {
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		q, ok, err := g.tryTree(tree, md, target)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			q.Trials = trial
+			q.Elapsed = time.Since(start)
+			// Prefer the smallest query; once we have swept every candidate
+			// composition once, return the best found (§3.2).
+			if best == nil || q.Tree.CountOps() < best.Tree.CountOps() {
+				best = q
+			}
+			if trial >= len(candidates) {
+				return best, nil
+			}
+		} else if best != nil && trial >= len(candidates) {
+			return best, nil
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	return nil, fmt.Errorf("%w (PATTERN, target %v, %d trials)", ErrExhausted, target, g.cfg.MaxTrials)
+}
+
+// ComposePatterns enumerates compositions of two rule patterns (§3.2):
+//  1. a new root (Join or UnionAll) with the two patterns as children, and
+//  2. each pattern substituted into each generic slot of the other.
+func ComposePatterns(a, b *rules.Pattern) []*rules.Pattern {
+	var out []*rules.Pattern
+	// Substitution compositions first: they tend to produce smaller queries
+	// and capture the input/output rule interaction the paper highlights.
+	for i := range a.Generics() {
+		c := a.Clone()
+		*c.Generics()[i] = *b.Clone()
+		out = append(out, c)
+	}
+	for i := range b.Generics() {
+		c := b.Clone()
+		*c.Generics()[i] = *a.Clone()
+		out = append(out, c)
+	}
+	out = append(out,
+		rules.P(logical.OpJoin, a.Clone(), b.Clone()),
+		rules.P(logical.OpUnionAll, a.Clone(), b.Clone()),
+	)
+	return out
+}

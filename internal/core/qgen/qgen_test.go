@@ -1,0 +1,128 @@
+package qgen
+
+import (
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/rules"
+)
+
+func newTestGenerator(t *testing.T, seed int64) *Generator {
+	t.Helper()
+	cat := catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+	o := opt.New(rules.DefaultRegistry(), cat)
+	g, err := New(o, Config{Seed: seed, MaxTrials: 256})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+// TestPatternCoversEveryExplorationRule is the core claim behind Figure 8:
+// pattern-based generation finds a query exercising each rule, in few trials.
+func TestPatternCoversEveryExplorationRule(t *testing.T) {
+	g := newTestGenerator(t, 7)
+	for _, r := range rules.ExplorationRules() {
+		q, err := g.GeneratePattern(r.ID())
+		if err != nil {
+			t.Errorf("rule %d (%s): %v", r.ID(), r.Name(), err)
+			continue
+		}
+		if !q.RuleSet.Contains(r.ID()) {
+			t.Errorf("rule %d (%s): returned query does not exercise the rule", r.ID(), r.Name())
+		}
+		if q.Trials > 32 {
+			t.Errorf("rule %d (%s): took %d trials, want few", r.ID(), r.Name(), q.Trials)
+		}
+	}
+}
+
+// TestPatternCoversImplementationRules checks the implementation-rule path
+// (single-node patterns, §3.1's hash-join example).
+func TestPatternCoversImplementationRules(t *testing.T) {
+	g := newTestGenerator(t, 11)
+	for _, r := range rules.ImplementationRules() {
+		if r.ID() == 116 || r.ID() == 117 {
+			continue // Sort/Limit are not produced by pattern instantiation wrappers alone
+		}
+		q, err := g.GeneratePattern(r.ID())
+		if err != nil {
+			t.Errorf("rule %d (%s): %v", r.ID(), r.Name(), err)
+			continue
+		}
+		if !q.RuleSet.Contains(r.ID()) {
+			t.Errorf("rule %d (%s): query does not exercise the rule", r.ID(), r.Name())
+		}
+	}
+}
+
+// TestRandomEventuallyCovers spot-checks that the RANDOM baseline can also
+// find queries for common rules (with more trials).
+func TestRandomEventuallyCovers(t *testing.T) {
+	g := newTestGenerator(t, 3)
+	for _, id := range []rules.ID{1, 4, 5} {
+		q, err := g.GenerateRandom([]rules.ID{id})
+		if err != nil {
+			t.Fatalf("rule %d: %v", id, err)
+		}
+		if !q.RuleSet.Contains(id) {
+			t.Fatalf("rule %d: query does not exercise it", id)
+		}
+	}
+}
+
+// TestPatternPairs exercises composition for a sample of pairs.
+func TestPatternPairs(t *testing.T) {
+	g := newTestGenerator(t, 19)
+	pairs := [][2]rules.ID{{1, 4}, {1, 12}, {5, 21}, {9, 23}, {14, 1}}
+	for _, p := range pairs {
+		q, err := g.GeneratePatternPair(p[0], p[1])
+		if err != nil {
+			t.Errorf("pair %v: %v", p, err)
+			continue
+		}
+		if !q.RuleSet.Contains(p[0]) || !q.RuleSet.Contains(p[1]) {
+			t.Errorf("pair %v: RuleSet %v misses a target", p, q.RuleSet.Sorted())
+		}
+	}
+}
+
+// TestPatternCoversRulesOnStarSchema replays the coverage test against the
+// second test database (§6.1: "other databases with different schemas and
+// sizes, and the results are similar").
+func TestPatternCoversRulesOnStarSchema(t *testing.T) {
+	cat := catalog.LoadStar(catalog.DefaultStarConfig())
+	o := opt.New(rules.DefaultRegistry(), cat)
+	g, err := New(o, Config{Seed: 23, MaxTrials: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules.ExplorationRules() {
+		q, err := g.GeneratePattern(r.ID())
+		if err != nil {
+			t.Errorf("star schema, rule %d (%s): %v", r.ID(), r.Name(), err)
+			continue
+		}
+		if !q.RuleSet.Contains(r.ID()) {
+			t.Errorf("star schema, rule %d (%s): not exercised", r.ID(), r.Name())
+		}
+	}
+}
+
+// TestExtraOpsGrowQueries checks the §2.3 complexity knob.
+func TestExtraOpsGrowQueries(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+	o := opt.New(rules.DefaultRegistry(), cat)
+	g, err := New(o, Config{Seed: 5, MaxTrials: 256, ExtraOps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := g.GeneratePattern(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.Tree.CountOps(); n < 5 {
+		t.Errorf("expected a padded query, got %d ops", n)
+	}
+}

@@ -1,0 +1,195 @@
+package suite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Baseline is the BASELINE method of §2.3: each target executes exactly the
+// k queries generated for it, and nothing is shared — the cost is
+// Σ_i Σ_{q∈TS_i} [Cost(q) + Cost(q,¬r_i)].
+func (g *Graph) Baseline() (*Solution, error) {
+	before := g.coster.calls
+	var asg []Assignment
+	for ti, t := range g.Targets {
+		n := 0
+		for _, q := range g.Queries {
+			if q.GeneratedFor != ti {
+				continue
+			}
+			asg = append(asg, Assignment{Target: ti, Query: q.Idx, EdgeCost: g.coster.cost(q, t)})
+			n++
+		}
+		if n != g.K {
+			return nil, fmt.Errorf("suite: target %s owns %d generated queries, want %d", t, n, g.K)
+		}
+	}
+	sol := g.finalize("BASELINE", asg, false)
+	sol.OptimizerCalls = g.coster.calls - before
+	return sol, nil
+}
+
+// SetMultiCover is the greedy algorithm of Figure 5, adapted from the
+// constrained set multicover approximation [19]: repeatedly pick the query
+// with the highest benefit (remaining targets covered per unit of node
+// cost) until every target is covered k times. Edge costs are ignored
+// during selection — the experiments show where that hurts.
+func (g *Graph) SetMultiCover() (*Solution, error) {
+	before := g.coster.calls
+	remaining := make([]int, len(g.Targets)) // coverage still needed
+	for ti := range g.Targets {
+		remaining[ti] = g.K
+	}
+	need := len(g.Targets) * g.K
+	picked := make([]bool, len(g.Queries))
+	assignedTo := make([][]int, len(g.Queries)) // query -> targets it covers on pick
+	coverable := make([][]int, len(g.Queries))  // query -> targets with an edge
+	for ti := range g.Targets {
+		for _, qi := range g.Adj[ti] {
+			coverable[qi] = append(coverable[qi], ti)
+		}
+	}
+	for need > 0 {
+		bestQ, bestCovers := -1, 0
+		bestBenefit := -1.0
+		for qi, q := range g.Queries {
+			if picked[qi] {
+				continue
+			}
+			covers := 0
+			for _, ti := range coverable[qi] {
+				if remaining[ti] > 0 {
+					covers++
+				}
+			}
+			if covers == 0 {
+				continue
+			}
+			cost := q.Cost
+			if cost <= 0 {
+				cost = 1e-9
+			}
+			benefit := float64(covers) / cost
+			if benefit > bestBenefit {
+				bestBenefit = benefit
+				bestQ = qi
+				bestCovers = covers
+			}
+		}
+		if bestQ < 0 {
+			return nil, fmt.Errorf("suite: set multicover is infeasible: %d coverage slots unfilled", need)
+		}
+		picked[bestQ] = true
+		for _, ti := range coverable[bestQ] {
+			if remaining[ti] > 0 {
+				remaining[ti]--
+				need--
+				assignedTo[bestQ] = append(assignedTo[bestQ], ti)
+			}
+		}
+		_ = bestCovers
+	}
+	var asg []Assignment
+	for qi, targets := range assignedTo {
+		for _, ti := range targets {
+			asg = append(asg, Assignment{
+				Target: ti, Query: qi,
+				EdgeCost: g.coster.cost(g.Queries[qi], g.Targets[ti]),
+			})
+		}
+	}
+	sol := g.finalize("SMC", asg, true)
+	sol.OptimizerCalls = g.coster.calls - before
+	return sol, nil
+}
+
+// TopKIndependent is the algorithm of Figure 6: independently for every
+// target, pick the k edges with the lowest Cost(q,¬R). It is a factor-2
+// approximation of the optimal compression (§5.2).
+func (g *Graph) TopKIndependent() (*Solution, error) {
+	before := g.coster.calls
+	var asg []Assignment
+	for ti, t := range g.Targets {
+		cand := g.Adj[ti]
+		if len(cand) < g.K {
+			return nil, fmt.Errorf("suite: target %s has only %d covering queries, want %d", t, len(cand), g.K)
+		}
+		type edge struct {
+			q    int
+			cost float64
+		}
+		edges := make([]edge, len(cand))
+		for i, qi := range cand {
+			edges[i] = edge{q: qi, cost: g.coster.cost(g.Queries[qi], t)}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].cost != edges[j].cost {
+				return edges[i].cost < edges[j].cost
+			}
+			return edges[i].q < edges[j].q
+		})
+		for _, e := range edges[:g.K] {
+			asg = append(asg, Assignment{Target: ti, Query: e.q, EdgeCost: e.cost})
+		}
+	}
+	sol := g.finalize("TOPK", asg, true)
+	sol.OptimizerCalls = g.coster.calls - before
+	return sol, nil
+}
+
+// TopKMonotonic is TopKIndependent with the §5.3.1 optimization: since
+// Cost(q) ≤ Cost(q,¬R) for a well-behaved optimizer, scanning candidates in
+// increasing node-cost order lets the algorithm stop computing edge costs as
+// soon as the next node cost exceeds the current k-th best edge cost. It
+// returns the same solution while invoking the optimizer far less often.
+func (g *Graph) TopKMonotonic() (*Solution, error) {
+	before := g.coster.calls
+	var asg []Assignment
+	for ti, t := range g.Targets {
+		cand := append([]int(nil), g.Adj[ti]...)
+		if len(cand) < g.K {
+			return nil, fmt.Errorf("suite: target %s has only %d covering queries, want %d", t, len(cand), g.K)
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			ci, cj := g.Queries[cand[i]].Cost, g.Queries[cand[j]].Cost
+			if ci != cj {
+				return ci < cj
+			}
+			return cand[i] < cand[j]
+		})
+		type edge struct {
+			q    int
+			cost float64
+		}
+		var best []edge // kept sorted ascending by cost, size ≤ K
+		insert := func(e edge) {
+			pos := sort.Search(len(best), func(i int) bool {
+				if best[i].cost != e.cost {
+					return best[i].cost > e.cost
+				}
+				return best[i].q > e.q
+			})
+			best = append(best, edge{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = e
+			if len(best) > g.K {
+				best = best[:g.K]
+			}
+		}
+		for _, qi := range cand {
+			if len(best) == g.K && g.Queries[qi].Cost > best[g.K-1].cost {
+				// Every remaining candidate has node cost (and therefore
+				// edge cost) strictly above the current k-th best edge; no
+				// remaining edge can enter the top k.
+				break
+			}
+			insert(edge{q: qi, cost: g.coster.cost(g.Queries[qi], t)})
+		}
+		for _, e := range best {
+			asg = append(asg, Assignment{Target: ti, Query: e.q, EdgeCost: e.cost})
+		}
+	}
+	sol := g.finalize("TOPK-MONO", asg, true)
+	sol.OptimizerCalls = g.coster.calls - before
+	return sol, nil
+}

@@ -1,0 +1,104 @@
+package suite
+
+import (
+	"testing"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/rules"
+)
+
+// TestExtensionRulesAreSound applies the correctness methodology to the
+// schema-dependent extension rules (31-34) on queries crafted to trigger
+// them, over both test databases.
+func TestExtensionRulesAreSound(t *testing.T) {
+	cases := []struct {
+		name string
+		cat  *catalog.Catalog
+		sql  string
+		rule rules.ID
+	}{
+		{
+			"fk_join_elimination_tpch",
+			catalog.LoadTPCH(catalog.DefaultTPCHConfig()),
+			"SELECT c_name, c_acctbal FROM customer JOIN nation ON c_nationkey = n_nationkey",
+			31,
+		},
+		{
+			"fk_join_elimination_star",
+			catalog.LoadStar(catalog.DefaultStarConfig()),
+			"SELECT f_amount FROM sales JOIN product ON f_productkey = p_productkey",
+			31,
+		},
+		{
+			"fk_semijoin_elimination",
+			catalog.LoadTPCH(catalog.DefaultTPCHConfig()),
+			"SELECT o_orderkey FROM orders WHERE EXISTS (SELECT 1 AS one FROM customer WHERE c_custkey = o_custkey)",
+			32,
+		},
+		{
+			"or_expansion",
+			catalog.LoadTPCH(catalog.DefaultTPCHConfig()),
+			"SELECT n_name FROM nation WHERE n_regionkey = 1 OR n_nationkey < 3",
+			33,
+		},
+		{
+			"split_select",
+			catalog.LoadTPCH(catalog.DefaultTPCHConfig()),
+			"SELECT s_name FROM supplier WHERE s_acctbal > 0 AND s_nationkey < 20",
+			34,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			o := opt.New(rules.RegistryWithExtensions(), c.cat)
+			bound, err := bind.BindSQL(c.sql, c.cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := o.Optimize(bound.Tree, bound.MD, opt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !on.RuleSet.Contains(c.rule) {
+				t.Fatalf("rule %d not exercised; RuleSet = %v", c.rule, on.RuleSet.Sorted())
+			}
+			rowsOn, err := exec.Run(on.Plan, c.cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := o.Optimize(bound.Tree, bound.MD, opt.Options{Disabled: rules.NewSet(c.rule)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsOff, err := exec.Run(off.Plan, c.cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exec.EqualMultisets(rowsOn, rowsOff) {
+				t.Errorf("rule %d changes results: %s", c.rule, exec.DiffSummary(rowsOn, rowsOff))
+			}
+		})
+	}
+}
+
+// TestFKJoinEliminationChoosesEliminatedPlan: the join-free plan must win on
+// cost when only fact columns are needed.
+func TestFKJoinEliminationChoosesEliminatedPlan(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+	o := opt.New(rules.RegistryWithExtensions(), cat)
+	bound, err := bind.BindSQL("SELECT c_name FROM customer JOIN nation ON c_nationkey = n_nationkey", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Plan.CountOps(); got > 2 {
+		t.Errorf("expected a scan+project plan after FK elimination, got %d ops:\n%s", got, res.Plan)
+	}
+}

@@ -1,0 +1,24 @@
+package suite
+
+import (
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/rules"
+)
+
+// buggySwapProjectRule returns a deliberately unsound exploration rule used
+// as the negative control in correctness tests: it rewrites a LEFT OUTER
+// JOIN to an inner join unconditionally (the sound rule 9 requires a
+// null-rejecting filter above). Inner joins cost slightly less than outer
+// joins, so the optimizer always prefers the wrong plan, and results differ
+// whenever an unmatched left row exists.
+func buggySwapProjectRule() rules.ExplorationRule {
+	pattern := rules.P(logical.OpLeftJoin, rules.Any(), rules.Any())
+	return rules.NewExplorationRule(901, "BuggyLeftJoinToJoin", pattern,
+		func(ctx *rules.Context, b *memo.BoundExpr) []*memo.BoundExpr {
+			return []*memo.BoundExpr{
+				memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: b.Node.On},
+					b.Kids[0], b.Kids[1]),
+			}
+		})
+}

@@ -1,0 +1,124 @@
+package suite
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatchingNoShare solves the §7 variant of test-suite compression: every
+// query of the original suite is mapped to exactly one target (no sharing),
+// each target still receives exactly k queries, and the total cost
+// Σ [Cost(q) + Cost(q,¬R)] is minimized. With |TS| = n·k this is an
+// assignment problem between queries and target slots, solved exactly with
+// the Hungarian algorithm — the polynomial-time contrast to the NP-hard
+// shared version.
+func (g *Graph) MatchingNoShare() (*Solution, error) {
+	before := g.coster.calls
+	nq := len(g.Queries)
+	slots := len(g.Targets) * g.K
+	if nq != slots {
+		return nil, fmt.Errorf("suite: matching variant needs |TS| = n·k (%d queries, %d slots)", nq, slots)
+	}
+	const big = 1e15
+	// cost[q][s]: assigning query q to slot s (slot s belongs to target
+	// s/K). Non-edges get a prohibitive (but finite) cost so the algorithm
+	// stays total; a result using one means infeasibility.
+	cost := make([][]float64, nq)
+	for qi := range cost {
+		row := make([]float64, slots)
+		for s := 0; s < slots; s++ {
+			ti := s / g.K
+			t := g.Targets[ti]
+			if t.CoveredBy(g.Queries[qi].RuleSet) {
+				ec := g.coster.cost(g.Queries[qi], t)
+				if math.IsInf(ec, 1) {
+					row[s] = big
+				} else {
+					row[s] = g.Queries[qi].Cost + ec
+				}
+			} else {
+				row[s] = big
+			}
+		}
+		cost[qi] = row
+	}
+	match := hungarian(cost)
+	var asg []Assignment
+	total := 0.0
+	for qi, s := range match {
+		if cost[qi][s] >= big {
+			return nil, fmt.Errorf("suite: no feasible no-share assignment (query %d forced onto a non-edge)", qi)
+		}
+		ti := s / g.K
+		ec := g.coster.cost(g.Queries[qi], g.Targets[ti])
+		asg = append(asg, Assignment{Target: ti, Query: qi, EdgeCost: ec})
+		total += cost[qi][s]
+	}
+	sol := &Solution{Name: "MATCHING", Assignments: asg, TotalCost: total}
+	sol.OptimizerCalls = g.coster.calls - before
+	return sol, nil
+}
+
+// hungarian solves the square assignment problem, returning for each row the
+// column assigned to it. Standard O(n³) potentials implementation.
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j (1-based rows)
+	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	match := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			match[p[j]-1] = j - 1
+		}
+	}
+	return match
+}

@@ -1,0 +1,334 @@
+// Package suite implements correctness-test suites for transformation rules
+// (§2.3, §4, §5 of the paper): suite generation (k distinct queries per
+// rule or rule pair), the bipartite rule/query graph with node costs Cost(q)
+// and edge costs Cost(q,¬R), the BASELINE execution strategy, the
+// SetMultiCover and TopKIndependent compression algorithms (the latter with
+// the monotonicity optimization of §5.3.1), and the execution/validation
+// runner that detects correctness bugs.
+package suite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"qtrtest/internal/core/qgen"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/rules"
+)
+
+// Target is what one test suite validates: a single rule or a rule pair.
+type Target struct {
+	Rules []rules.ID
+}
+
+// SingletonTargets returns one target per rule.
+func SingletonTargets(ids []rules.ID) []Target {
+	out := make([]Target, len(ids))
+	for i, id := range ids {
+		out[i] = Target{Rules: []rules.ID{id}}
+	}
+	return out
+}
+
+// PairTargets returns all C(n,2) rule-pair targets.
+func PairTargets(ids []rules.ID) []Target {
+	var out []Target
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			out = append(out, Target{Rules: []rules.ID{ids[i], ids[j]}})
+		}
+	}
+	return out
+}
+
+// Set returns the target's rules as a Set.
+func (t Target) Set() rules.Set { return rules.NewSet(t.Rules...) }
+
+// CoveredBy reports whether the query's RuleSet exercises every rule of the
+// target.
+func (t Target) CoveredBy(rs rules.Set) bool {
+	for _, id := range t.Rules {
+		if !rs.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the target, e.g. "{3}" or "{3,7}".
+func (t Target) String() string {
+	parts := make([]string, len(t.Rules))
+	for i, id := range t.Rules {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Query is one test case in the overall suite TS.
+type Query struct {
+	Idx     int
+	SQL     string
+	Tree    *logical.Expr
+	MD      *logical.Metadata
+	RuleSet rules.Set
+	// Cost is the node cost Cost(q): the optimizer-estimated cost of the
+	// plan with all rules enabled.
+	Cost float64
+	// GeneratedFor is the index of the target whose suite TS_i this query
+	// was generated for (the BASELINE method executes exactly those).
+	GeneratedFor int
+}
+
+// Graph is the bipartite graph of §4.1: rule targets on one side, queries on
+// the other, an edge (t,q) wherever optimizing q exercises every rule of t.
+// Edge costs Cost(q,¬R) are computed lazily through an edgeCoster so that
+// the monotonicity optimization's savings in optimizer calls are observable
+// (Figure 14).
+type Graph struct {
+	Targets []Target
+	Queries []*Query
+	// Adj[t] lists indices of queries covering target t.
+	Adj [][]int
+
+	K int
+
+	coster *edgeCoster
+}
+
+// edgeCoster computes and caches Cost(q, ¬R), counting optimizer calls.
+type edgeCoster struct {
+	o     *opt.Optimizer
+	calls int
+	cache map[string]edgeResult
+}
+
+type edgeResult struct {
+	cost float64
+	plan *physical.Expr
+}
+
+func edgeKey(q int, t Target) string { return fmt.Sprintf("%d|%s", q, t) }
+
+// cost returns Cost(q,¬R) for the target's rules, invoking the optimizer on
+// a cache miss. A query that cannot be planned at all with the rules
+// disabled costs +Inf.
+func (ec *edgeCoster) cost(q *Query, t Target) float64 {
+	res := ec.edge(q, t)
+	return res.cost
+}
+
+func (ec *edgeCoster) edge(q *Query, t Target) edgeResult {
+	key := edgeKey(q.Idx, t)
+	if r, ok := ec.cache[key]; ok {
+		return r
+	}
+	ec.calls++
+	res, err := ec.o.Optimize(q.Tree, q.MD, opt.Options{Disabled: t.Set()})
+	var r edgeResult
+	if err != nil {
+		r = edgeResult{cost: math.Inf(1)}
+	} else {
+		// For an ideal optimizer Cost(q) ≤ Cost(q,¬R): the search space with
+		// a rule disabled is a subset of the full one (§5.2). Our search is
+		// budget-capped, so the disabled run can occasionally stumble on a
+		// plan the full run's budget missed; clamp to restore the invariant
+		// the monotonicity optimization relies on.
+		r = edgeResult{cost: math.Max(res.Cost, q.Cost), plan: res.Plan}
+	}
+	ec.cache[key] = r
+	return r
+}
+
+// OptimizerCalls reports how many Cost(q,¬R) optimizations have run so far.
+func (g *Graph) OptimizerCalls() int { return g.coster.calls }
+
+// ResetOptimizerCalls zeroes the call counter and cache, so that successive
+// algorithm runs over the same graph can be compared (Figure 14).
+func (g *Graph) ResetOptimizerCalls() {
+	g.coster.calls = 0
+	g.coster.cache = make(map[string]edgeResult)
+}
+
+// EdgeCost exposes Cost(q,¬R) for query index q and target t.
+func (g *Graph) EdgeCost(q int, t Target) float64 {
+	return g.coster.cost(g.Queries[q], t)
+}
+
+// EdgePlan returns the plan Plan(q,¬R) behind an edge.
+func (g *Graph) EdgePlan(q int, t Target) *physical.Expr {
+	return g.coster.edge(g.Queries[q], t).plan
+}
+
+// GenMethod selects how suite queries are generated.
+type GenMethod int
+
+// Generation methods.
+const (
+	// MethodPattern uses rule-pattern instantiation (§3).
+	MethodPattern GenMethod = iota
+	// MethodRandom uses the stochastic baseline.
+	MethodRandom
+)
+
+// GenConfig configures suite generation.
+type GenConfig struct {
+	// K is the test-suite size: distinct queries per target (§2.3).
+	K int
+	// Method selects PATTERN or RANDOM generation.
+	Method GenMethod
+	// ExtraOps pads queries with extra operators so correctness tests are
+	// non-trivial (§2.3).
+	ExtraOps int
+	// Seed drives the generator.
+	Seed int64
+	// MaxTrials bounds per-query generation attempts.
+	MaxTrials int
+}
+
+// Generate builds the overall test suite TS = ∪ TS_i for the given targets
+// and assembles the bipartite graph.
+func Generate(o *opt.Optimizer, targets []Target, cfg GenConfig) (*Graph, error) {
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = 512
+	}
+	gen, err := qgen.New(o, qgen.Config{Seed: cfg.Seed, MaxTrials: cfg.MaxTrials, ExtraOps: cfg.ExtraOps})
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Targets: targets,
+		K:       cfg.K,
+		coster:  &edgeCoster{o: o, cache: make(map[string]edgeResult)},
+	}
+	for ti, t := range targets {
+		seen := make(map[string]bool)
+		for n := 0; n < cfg.K; {
+			q, err := g.generateOne(gen, t, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("suite: generating query %d for target %s: %w", n+1, t, err)
+			}
+			if seen[q.SQL] {
+				continue // paper requires k distinct queries per target
+			}
+			seen[q.SQL] = true
+			q.Idx = len(g.Queries)
+			q.GeneratedFor = ti
+			g.Queries = append(g.Queries, q)
+			n++
+		}
+	}
+	g.buildAdjacency()
+	return g, nil
+}
+
+func (g *Graph) generateOne(gen *qgen.Generator, t Target, cfg GenConfig) (*Query, error) {
+	var res *qgen.Query
+	var err error
+	if cfg.Method == MethodRandom {
+		res, err = gen.GenerateRandom(t.Rules)
+	} else if len(t.Rules) == 2 {
+		res, err = gen.GeneratePatternPair(t.Rules[0], t.Rules[1])
+	} else {
+		res, err = gen.GeneratePattern(t.Rules[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Query{
+		SQL: res.SQL, Tree: res.Tree, MD: res.MD,
+		RuleSet: res.RuleSet, Cost: res.Cost,
+	}, nil
+}
+
+func (g *Graph) buildAdjacency() {
+	g.Adj = make([][]int, len(g.Targets))
+	for ti, t := range g.Targets {
+		for qi, q := range g.Queries {
+			if t.CoveredBy(q.RuleSet) {
+				g.Adj[ti] = append(g.Adj[ti], qi)
+			}
+		}
+	}
+}
+
+// Assignment maps one query to one target in a solution.
+type Assignment struct {
+	Target int
+	Query  int
+	// EdgeCost is Cost(q, ¬R) for this edge.
+	EdgeCost float64
+}
+
+// Solution is a valid subgraph per §4.1: every target has exactly K distinct
+// queries assigned.
+type Solution struct {
+	Name        string
+	Assignments []Assignment
+	// TotalCost = Σ_{distinct queries used} Cost(q) + Σ_edges Cost(q,¬R):
+	// the estimated cost of executing the suite, with Plan(q) shared across
+	// targets that reuse the query.
+	TotalCost float64
+	// OptimizerCalls consumed while computing the solution (edge-cost
+	// optimizations), for Figure 14.
+	OptimizerCalls int
+}
+
+// finalize computes TotalCost from the assignments.
+func (g *Graph) finalize(name string, asg []Assignment, shareNodeCost bool) *Solution {
+	sort.Slice(asg, func(i, j int) bool {
+		if asg[i].Target != asg[j].Target {
+			return asg[i].Target < asg[j].Target
+		}
+		return asg[i].Query < asg[j].Query
+	})
+	total := 0.0
+	seen := make(map[int]bool)
+	for _, a := range asg {
+		if shareNodeCost {
+			if !seen[a.Query] {
+				seen[a.Query] = true
+				total += g.Queries[a.Query].Cost
+			}
+		} else {
+			total += g.Queries[a.Query].Cost
+		}
+		total += a.EdgeCost
+	}
+	return &Solution{Name: name, Assignments: asg, TotalCost: total}
+}
+
+// Validate checks the §4.1 invariants: each target has exactly K distinct
+// queries, and every assignment is a real edge.
+func (g *Graph) Validate(sol *Solution) error {
+	perTarget := make(map[int]map[int]bool)
+	for _, a := range sol.Assignments {
+		if a.Target < 0 || a.Target >= len(g.Targets) || a.Query < 0 || a.Query >= len(g.Queries) {
+			return fmt.Errorf("suite: assignment out of range: %+v", a)
+		}
+		if !g.Targets[a.Target].CoveredBy(g.Queries[a.Query].RuleSet) {
+			return fmt.Errorf("suite: query %d does not cover target %s", a.Query, g.Targets[a.Target])
+		}
+		m := perTarget[a.Target]
+		if m == nil {
+			m = make(map[int]bool)
+			perTarget[a.Target] = m
+		}
+		if m[a.Query] {
+			return fmt.Errorf("suite: duplicate assignment of query %d to target %s", a.Query, g.Targets[a.Target])
+		}
+		m[a.Query] = true
+	}
+	for ti, t := range g.Targets {
+		if len(perTarget[ti]) != g.K {
+			return fmt.Errorf("suite: target %s has %d queries, want %d", t, len(perTarget[ti]), g.K)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+// Package datum implements the typed values that flow through the query
+// engine: rows are slices of Datum, predicates compare Datums, and the
+// correctness oracle compares multisets of Datum rows.
+//
+// SQL three-valued logic is modeled with an explicit Null kind; comparison
+// operators on Datums return a tri-state (True/False/Unknown).
+package datum
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Type identifies the SQL-level type of a column or value.
+type Type int
+
+// Column types supported by the engine. Dates are stored as days since an
+// arbitrary epoch, which is all TPC-H predicates need.
+const (
+	TypeUnknown Type = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+	TypeDate
+)
+
+// String returns the SQL-ish spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeDate:
+		return "DATE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Kind discriminates the runtime representation held by a Datum.
+type Kind int
+
+// Datum kinds. KindNull is its own kind regardless of the column type.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate
+)
+
+// Datum is a single SQL value. The zero value is NULL.
+type Datum struct {
+	K Kind
+	I int64 // KindInt, KindDate
+	F float64
+	S string
+	B bool
+}
+
+// Null is the SQL NULL value.
+var Null = Datum{K: KindNull}
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{K: KindInt, I: v} }
+
+// NewFloat returns a float datum.
+func NewFloat(v float64) Datum { return Datum{K: KindFloat, F: v} }
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{K: KindString, S: v} }
+
+// NewBool returns a boolean datum.
+func NewBool(v bool) Datum { return Datum{K: KindBool, B: v} }
+
+// NewDate returns a date datum holding days since the engine epoch.
+func NewDate(days int64) Datum { return Datum{K: KindDate, I: days} }
+
+// IsNull reports whether d is SQL NULL.
+func (d Datum) IsNull() bool { return d.K == KindNull }
+
+// Tri is the three-valued logic truth value produced by SQL comparisons.
+type Tri int
+
+// Three-valued logic constants.
+const (
+	False   Tri = 0
+	True    Tri = 1
+	Unknown Tri = 2
+)
+
+// And returns SQL AND over tri-state values.
+func (t Tri) And(o Tri) Tri {
+	if t == False || o == False {
+		return False
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or returns SQL OR over tri-state values.
+func (t Tri) Or(o Tri) Tri {
+	if t == True || o == True {
+		return True
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not returns SQL NOT over tri-state values.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// TriFromBool converts a Go bool to a Tri.
+func TriFromBool(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// numeric returns the value as float64 for cross-type numeric comparison.
+func (d Datum) numeric() (float64, bool) {
+	switch d.K {
+	case KindInt, KindDate:
+		return float64(d.I), true
+	case KindFloat:
+		return d.F, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two non-NULL datums: -1, 0, +1. Comparing a NULL or
+// incomparable kinds returns ok=false. Ints, floats and dates compare
+// numerically with each other; strings and bools only with their own kind.
+func Compare(a, b Datum) (cmp int, ok bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	if an, aok := a.numeric(); aok {
+		bn, bok := b.numeric()
+		if !bok {
+			return 0, false
+		}
+		switch {
+		case an < bn:
+			return -1, true
+		case an > bn:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.K != b.K {
+		return 0, false
+	}
+	switch a.K {
+	case KindString:
+		return strings.Compare(a.S, b.S), true
+	case KindBool:
+		switch {
+		case !a.B && b.B:
+			return -1, true
+		case a.B && !b.B:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// TotalCompare imposes a total order over all datums, NULLs first, for use by
+// sort operators and the result-comparison oracle. Unlike Compare it never
+// fails: kinds are ordered by kind number when incomparable.
+func TotalCompare(a, b Datum) int {
+	if a.IsNull() && b.IsNull() {
+		return 0
+	}
+	if a.IsNull() {
+		return -1
+	}
+	if b.IsNull() {
+		return 1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	}
+	return 0
+}
+
+// Hash returns a hash of the datum such that datums that Compare equal hash
+// equal (numeric kinds are hashed through their float64 image).
+func (d Datum) Hash() uint64 {
+	h := fnv.New64a()
+	switch d.K {
+	case KindNull:
+		h.Write([]byte{0})
+	case KindInt, KindFloat, KindDate:
+		f, _ := d.numeric()
+		if f == float64(int64(f)) {
+			fmt.Fprintf(h, "n%d", int64(f))
+		} else {
+			fmt.Fprintf(h, "f%g", f)
+		}
+	case KindString:
+		h.Write([]byte{2})
+		h.Write([]byte(d.S))
+	case KindBool:
+		if d.B {
+			h.Write([]byte{3, 1})
+		} else {
+			h.Write([]byte{3, 0})
+		}
+	}
+	return h.Sum64()
+}
+
+// String renders the datum for display and for use in generated SQL literals.
+func (d Datum) String() string {
+	switch d.K {
+	case KindNull:
+		return "NULL"
+	case KindInt, KindDate:
+		return strconv.FormatInt(d.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(d.S, "'", "''") + "'"
+	case KindBool:
+		if d.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// TypeOf returns the column type matching the datum's runtime kind.
+func (d Datum) TypeOf() Type {
+	switch d.K {
+	case KindInt:
+		return TypeInt
+	case KindFloat:
+		return TypeFloat
+	case KindString:
+		return TypeString
+	case KindBool:
+		return TypeBool
+	case KindDate:
+		return TypeDate
+	}
+	return TypeUnknown
+}
+
+// Row is a tuple of datums.
+type Row []Datum
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Key renders a row to a string usable as a hash-table key where rows that
+// compare equal produce equal keys.
+func (r Row) Key() string {
+	var sb strings.Builder
+	for _, d := range r {
+		fmt.Fprintf(&sb, "%d:%s|", keyKind(d.K), canonicalKeyPart(d))
+	}
+	return sb.String()
+}
+
+// keyKind folds numeric kinds together so that rows whose datums Compare
+// equal produce equal keys even if one plan yields INT and another FLOAT.
+func keyKind(k Kind) Kind {
+	switch k {
+	case KindInt, KindFloat, KindDate:
+		return KindInt
+	default:
+		return k
+	}
+}
+
+func canonicalKeyPart(d Datum) string {
+	switch d.K {
+	case KindInt, KindFloat, KindDate:
+		f, _ := d.numeric()
+		if f == float64(int64(f)) {
+			return strconv.FormatInt(int64(f), 10)
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	default:
+		return d.String()
+	}
+}

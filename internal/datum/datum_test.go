@@ -1,0 +1,200 @@
+package datum
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		cmp  int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewFloat(2.5), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewDate(10), NewInt(10), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewBool(true), 0},
+	}
+	for _, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if !ok {
+			t.Errorf("Compare(%v,%v) not ok", c.a, c.b)
+			continue
+		}
+		if got != c.cmp {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.cmp)
+		}
+	}
+}
+
+func TestCompareNullAndIncomparable(t *testing.T) {
+	if _, ok := Compare(Null, NewInt(1)); ok {
+		t.Error("Compare with NULL should not be ok")
+	}
+	if _, ok := Compare(NewInt(1), NewString("x")); ok {
+		t.Error("Compare int/string should not be ok")
+	}
+	if _, ok := Compare(NewBool(true), NewInt(1)); ok {
+		t.Error("Compare bool/int should not be ok")
+	}
+}
+
+func TestTotalCompareNullsFirst(t *testing.T) {
+	if TotalCompare(Null, NewInt(-1000)) != -1 {
+		t.Error("NULL should sort first")
+	}
+	if TotalCompare(NewInt(-1000), Null) != 1 {
+		t.Error("NULL should sort first (swapped)")
+	}
+	if TotalCompare(Null, Null) != 0 {
+		t.Error("NULL == NULL under total order")
+	}
+}
+
+func randDatum(r *rand.Rand) Datum {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(int64(r.Intn(20) - 10))
+	case 2:
+		return NewFloat(float64(r.Intn(20))/2 - 5)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(4))))
+	default:
+		return NewBool(r.Intn(2) == 0)
+	}
+}
+
+// Property: TotalCompare is antisymmetric and total.
+func TestTotalCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randDatum(r), randDatum(r)
+		return TotalCompare(a, b) == -TotalCompare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TotalCompare is transitive over random triples.
+func TestTotalCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randDatum(r), randDatum(r), randDatum(r)
+		if TotalCompare(a, b) <= 0 && TotalCompare(b, c) <= 0 {
+			return TotalCompare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: datums that compare equal hash equal.
+func TestHashConsistentWithCompare(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randDatum(r), randDatum(r)
+		if c, ok := Compare(a, b); ok && c == 0 {
+			return a.Hash() == b.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntFloatHashEqual(t *testing.T) {
+	if NewInt(7).Hash() != NewFloat(7).Hash() {
+		t.Error("7 and 7.0 must hash equal")
+	}
+	if NewInt(7).Hash() == NewFloat(7.5).Hash() {
+		t.Error("7 and 7.5 must hash differently")
+	}
+}
+
+func TestTriLogic(t *testing.T) {
+	// SQL three-valued truth tables.
+	and := [][3]Tri{
+		{True, True, True}, {True, False, False}, {True, Unknown, Unknown},
+		{False, Unknown, False}, {False, False, False}, {Unknown, Unknown, Unknown},
+	}
+	for _, c := range and {
+		if got := c[0].And(c[1]); got != c[2] {
+			t.Errorf("%v AND %v = %v, want %v", c[0], c[1], got, c[2])
+		}
+		if got := c[1].And(c[0]); got != c[2] {
+			t.Errorf("AND not commutative for %v,%v", c[0], c[1])
+		}
+	}
+	or := [][3]Tri{
+		{True, Unknown, True}, {False, Unknown, Unknown}, {False, False, False},
+		{True, True, True}, {Unknown, Unknown, Unknown},
+	}
+	for _, c := range or {
+		if got := c[0].Or(c[1]); got != c[2] {
+			t.Errorf("%v OR %v = %v, want %v", c[0], c[1], got, c[2])
+		}
+	}
+	if Unknown.Not() != Unknown || True.Not() != False || False.Not() != True {
+		t.Error("NOT truth table wrong")
+	}
+}
+
+func TestRowKeyFoldsNumericKinds(t *testing.T) {
+	a := Row{NewInt(3), NewString("x")}
+	b := Row{NewFloat(3.0), NewString("x")}
+	if a.Key() != b.Key() {
+		t.Error("rows equal under Compare must have equal keys")
+	}
+	c := Row{NewFloat(3.5), NewString("x")}
+	if a.Key() == c.Key() {
+		t.Error("distinct rows must not collide trivially")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := map[string]Datum{
+		"NULL":   Null,
+		"42":     NewInt(42),
+		"'a''b'": NewString("a'b"),
+		"TRUE":   NewBool(true),
+		"1.5":    NewFloat(1.5),
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	if NewInt(1).TypeOf() != TypeInt || NewDate(1).TypeOf() != TypeDate ||
+		Null.TypeOf() != TypeUnknown || NewBool(true).TypeOf() != TypeBool {
+		t.Error("TypeOf mismatch")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewInt(2)}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if reflect.DeepEqual(r, c) {
+		t.Error("Clone must copy")
+	}
+	if r[0].I != 1 {
+		t.Error("Clone mutated original")
+	}
+}

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/physical"
+)
+
+// OpStats records one operator's estimated versus actual cardinality from an
+// instrumented execution (EXPLAIN ANALYZE).
+type OpStats struct {
+	Op       physical.Op
+	Detail   string // table name or join type
+	EstRows  float64
+	ActRows  int64
+	Children []*OpStats
+}
+
+// QError returns max(est/act, act/est), the standard cardinality-estimation
+// quality metric; 1 is perfect. Zero actuals and estimates are floored at 1.
+func (s *OpStats) QError() float64 {
+	est := s.EstRows
+	act := float64(s.ActRows)
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// MaxQError returns the worst Q-error in the subtree.
+func (s *OpStats) MaxQError() float64 {
+	worst := s.QError()
+	for _, c := range s.Children {
+		if q := c.MaxQError(); q > worst {
+			worst = q
+		}
+	}
+	return worst
+}
+
+// String renders the analyze tree like EXPLAIN ANALYZE output.
+func (s *OpStats) String() string {
+	var sb strings.Builder
+	var walk func(x *OpStats, depth int)
+	walk = func(x *OpStats, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(x.Op.String())
+		if x.Detail != "" {
+			fmt.Fprintf(&sb, "(%s)", x.Detail)
+		}
+		fmt.Fprintf(&sb, "  est=%.0f act=%d q=%.1f\n", x.EstRows, x.ActRows, x.QError())
+		for _, c := range x.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return sb.String()
+}
+
+// countingIter wraps an iterator, counting emitted rows.
+type countingIter struct {
+	Iterator
+	stats *OpStats
+}
+
+func (c *countingIter) Open() error {
+	c.stats.ActRows = 0
+	return c.Iterator.Open()
+}
+
+func (c *countingIter) Next() (datum.Row, error) {
+	row, err := c.Iterator.Next()
+	if row != nil {
+		c.stats.ActRows++
+	}
+	return row, err
+}
+
+// buildAnalyze compiles the plan with a counting wrapper at every operator.
+func buildAnalyze(plan *physical.Expr, cat *catalog.Catalog) (Iterator, *OpStats, error) {
+	stats := &OpStats{Op: plan.Op, EstRows: plan.Rows}
+	switch plan.Op {
+	case physical.OpScan:
+		stats.Detail = plan.Table
+	case physical.OpHashJoin, physical.OpNLJoin, physical.OpMergeJoin:
+		stats.Detail = plan.JoinType.String()
+	}
+	kids := make([]Iterator, len(plan.Children))
+	for i, c := range plan.Children {
+		kidIt, kidStats, err := buildAnalyze(c, cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		kids[i] = kidIt
+		stats.Children = append(stats.Children, kidStats)
+	}
+	// Rebuild this operator over the instrumented children by building a
+	// shallow copy whose children are already-built iterators. Build
+	// compiles children itself, so construct the operator directly instead.
+	it, err := buildOver(plan, kids, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &countingIter{Iterator: it, stats: stats}, stats, nil
+}
+
+// buildOver constructs one operator over pre-built child iterators; it
+// mirrors Build's dispatch.
+func buildOver(plan *physical.Expr, kids []Iterator, cat *catalog.Catalog) (Iterator, error) {
+	switch plan.Op {
+	case physical.OpScan:
+		t, err := cat.Table(plan.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &scanIter{table: t}, nil
+	case physical.OpFilter:
+		return &filterIter{child: kids[0], pred: plan.Filter, env: envOf(plan.Children[0].OutputCols())}, nil
+	case physical.OpProject:
+		return &projectIter{child: kids[0], items: plan.Projs, env: envOf(plan.Children[0].OutputCols())}, nil
+	case physical.OpHashJoin:
+		return newHashJoin(plan, kids[0], kids[1]), nil
+	case physical.OpNLJoin:
+		return newNLJoin(plan, kids[0], kids[1]), nil
+	case physical.OpMergeJoin:
+		if plan.JoinType != physical.JoinInner {
+			return nil, fmt.Errorf("exec: merge join supports inner joins only, got %s", plan.JoinType)
+		}
+		return newMergeJoin(plan, kids[0], kids[1]), nil
+	case physical.OpHashAgg, physical.OpSortAgg:
+		return &aggIter{
+			child: kids[0], groupCols: plan.GroupCols, aggs: plan.Aggs,
+			env: envOf(plan.Children[0].OutputCols()), sorted: plan.Op == physical.OpSortAgg,
+		}, nil
+	case physical.OpSort:
+		return &sortIter{child: kids[0], keys: plan.Keys, env: envOf(plan.Children[0].OutputCols())}, nil
+	case physical.OpLimit:
+		return &limitIter{child: kids[0], n: plan.N}, nil
+	case physical.OpConcat:
+		return &concatIter{plan: plan, kids: kids}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported physical operator %s", plan.Op)
+}
+
+// RunAnalyze executes the plan with per-operator row counting and returns
+// the rows plus the analyze tree (estimated versus actual cardinalities).
+func RunAnalyze(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, *OpStats, error) {
+	it, stats, err := buildAnalyze(plan, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	var out []datum.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if row == nil {
+			return out, stats, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"qtrtest/internal/datum"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+func TestRunAnalyzeCountsRows(t *testing.T) {
+	plan := joinPlan(physical.OpHashJoin, physical.JoinInner)
+	plan.Rows = 3 // pretend the optimizer estimated exactly right
+	plan.Children[0].Rows = 4
+	plan.Children[1].Rows = 4
+	rows, stats, err := RunAnalyze(plan, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if stats.ActRows != 3 {
+		t.Errorf("root actual = %d, want 3", stats.ActRows)
+	}
+	if stats.Children[0].ActRows != 4 || stats.Children[1].ActRows != 4 {
+		t.Errorf("scan actuals: %d, %d, want 4, 4",
+			stats.Children[0].ActRows, stats.Children[1].ActRows)
+	}
+	if q := stats.QError(); q != 1 {
+		t.Errorf("QError = %f, want 1 for a perfect estimate", q)
+	}
+	out := stats.String()
+	if !strings.Contains(out, "HashJoin(Inner)") || !strings.Contains(out, "act=4") {
+		t.Errorf("analyze output:\n%s", out)
+	}
+}
+
+func TestQErrorMetric(t *testing.T) {
+	cases := []struct {
+		est  float64
+		act  int64
+		want float64
+	}{
+		{10, 10, 1},
+		{100, 10, 10},
+		{10, 100, 10},
+		{0, 0, 1},   // both floored
+		{0.5, 2, 2}, // est floored to 1
+	}
+	for _, c := range cases {
+		s := &OpStats{EstRows: c.est, ActRows: c.act}
+		if got := s.QError(); got != c.want {
+			t.Errorf("QError(est=%g, act=%d) = %g, want %g", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestMaxQError(t *testing.T) {
+	root := &OpStats{EstRows: 10, ActRows: 10, Children: []*OpStats{
+		{EstRows: 10, ActRows: 100},
+		{EstRows: 5, ActRows: 5},
+	}}
+	if got := root.MaxQError(); got != 10 {
+		t.Errorf("MaxQError = %f, want 10", got)
+	}
+}
+
+func TestRunAnalyzeMatchesRun(t *testing.T) {
+	plan := &physical.Expr{
+		Op: physical.OpFilter, Children: []*physical.Expr{scanT1()},
+		Filter: &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: 2}, R: &scalar.Const{D: datum.NewInt(5)}},
+	}
+	plain, err := Run(plan, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed, _, err := RunAnalyze(plan, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualMultisets(plain, analyzed) {
+		t.Error("instrumented execution changed results")
+	}
+}

@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"fmt"
+
+	"qtrtest/internal/datum"
+)
+
+// EqualMultisets reports whether two result sets contain the same rows with
+// the same multiplicities, ignoring order. This is the correctness oracle:
+// two plans for the same query must produce equal multisets.
+func EqualMultisets(a, b []datum.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[r.Key()]++
+	}
+	for _, r := range b {
+		k := r.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffSummary describes the first discrepancy between two result multisets,
+// for correctness-bug reports.
+func DiffSummary(a, b []datum.Row) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("row count mismatch: %d vs %d", len(a), len(b))
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[r.Key()]++
+	}
+	for _, r := range b {
+		k := r.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return fmt.Sprintf("row %v appears more often in the second result", r)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,286 @@
+// Package exec implements a Volcano-style iterator execution engine for
+// physical plans. Correctness testing (§2.3) executes Plan(q) and
+// Plan(q,¬R) and compares their results as multisets; this package provides
+// both the execution and the comparison oracle.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// Iterator is the operator interface: Open, then Next until it returns a nil
+// row, then Close.
+type Iterator interface {
+	Open() error
+	// Next returns the next row, or (nil, nil) at end of stream.
+	Next() (datum.Row, error)
+	Close() error
+}
+
+// envOf maps a column layout to slot positions.
+func envOf(cols []scalar.ColumnID) scalar.Env {
+	env := make(scalar.Env, len(cols))
+	for i, c := range cols {
+		env[c] = i
+	}
+	return env
+}
+
+// Build compiles a physical plan into an iterator tree over the catalog's
+// in-memory tables.
+func Build(plan *physical.Expr, cat *catalog.Catalog) (Iterator, error) {
+	kids := make([]Iterator, len(plan.Children))
+	for i, c := range plan.Children {
+		k, err := Build(c, cat)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	if plan.Op == physical.OpMergeJoin && plan.JoinType != physical.JoinInner {
+		return nil, fmt.Errorf("exec: merge join supports inner joins only, got %s", plan.JoinType)
+	}
+	return buildOver(plan, kids, cat)
+}
+
+// Run executes a plan to completion and returns all result rows.
+func Run(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, error) {
+	it, err := Build(plan, cat)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []datum.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// ---- scan -----------------------------------------------------------------
+
+type scanIter struct {
+	table *catalog.Table
+	pos   int
+}
+
+func (s *scanIter) Open() error { s.pos = 0; return nil }
+
+func (s *scanIter) Next() (datum.Row, error) {
+	if s.pos >= len(s.table.Rows) {
+		return nil, nil
+	}
+	row := s.table.Rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *scanIter) Close() error { return nil }
+
+// ---- filter ---------------------------------------------------------------
+
+type filterIter struct {
+	child Iterator
+	pred  scalar.Expr
+	env   scalar.Env
+}
+
+func (f *filterIter) Open() error { return f.child.Open() }
+
+func (f *filterIter) Next() (datum.Row, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		ok, err := scalar.EvalBool(f.pred, row, f.env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.child.Close() }
+
+// ---- project ----------------------------------------------------------------
+
+type projectIter struct {
+	child Iterator
+	items []logical.ProjItem
+	env   scalar.Env
+}
+
+func (p *projectIter) Open() error { return p.child.Open() }
+
+func (p *projectIter) Next() (datum.Row, error) {
+	row, err := p.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(datum.Row, len(p.items))
+	for i, it := range p.items {
+		d, err := scalar.Eval(it.E, row, p.env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() error { return p.child.Close() }
+
+// ---- sort -------------------------------------------------------------------
+
+type sortIter struct {
+	child Iterator
+	keys  []logical.SortKey
+	env   scalar.Env
+	rows  []datum.Row
+	pos   int
+}
+
+func (s *sortIter) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	for {
+		row, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, k := range s.keys {
+			slot := s.env[k.Col]
+			c := datum.TotalCompare(s.rows[i][slot], s.rows[j][slot])
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	s.pos = 0
+	return nil
+}
+
+func (s *sortIter) Next() (datum.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *sortIter) Close() error { return s.child.Close() }
+
+// ---- limit --------------------------------------------------------------------
+
+type limitIter struct {
+	child Iterator
+	n     int64
+	seen  int64
+}
+
+func (l *limitIter) Open() error { l.seen = 0; return l.child.Open() }
+
+func (l *limitIter) Next() (datum.Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	row, err := l.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+func (l *limitIter) Close() error { return l.child.Close() }
+
+// ---- concat (UNION ALL) ----------------------------------------------------------
+
+type concatIter struct {
+	plan *physical.Expr
+	kids []Iterator
+	cur  int
+	maps [][]int // per child: output position -> child slot
+}
+
+func (c *concatIter) Open() error {
+	c.cur = 0
+	c.maps = make([][]int, len(c.kids))
+	for i, kid := range c.kids {
+		if err := kid.Open(); err != nil {
+			return err
+		}
+		env := envOf(c.plan.Children[i].OutputCols())
+		m := make([]int, len(c.plan.OutCols))
+		for j := range c.plan.OutCols {
+			slot, ok := env[c.plan.InputCols[i][j]]
+			if !ok {
+				return fmt.Errorf("exec: concat input column c%d missing from child %d", c.plan.InputCols[i][j], i)
+			}
+			m[j] = slot
+		}
+		c.maps[i] = m
+	}
+	return nil
+}
+
+func (c *concatIter) Next() (datum.Row, error) {
+	for c.cur < len(c.kids) {
+		row, err := c.kids[c.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			c.cur++
+			continue
+		}
+		out := make(datum.Row, len(c.maps[c.cur]))
+		for j, slot := range c.maps[c.cur] {
+			out[j] = row[slot]
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+func (c *concatIter) Close() error {
+	var first error
+	for _, k := range c.kids {
+		if err := k.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

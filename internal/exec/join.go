@@ -1,0 +1,420 @@
+package exec
+
+import (
+	"sort"
+	"strings"
+
+	"qtrtest/internal/datum"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// drain reads an iterator to completion.
+func drain(it Iterator) ([]datum.Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var out []datum.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// combinedEnv builds the evaluation environment for a (left ++ right) row.
+func combinedEnv(plan *physical.Expr) scalar.Env {
+	l := plan.Children[0].OutputCols()
+	r := plan.Children[1].OutputCols()
+	env := make(scalar.Env, len(l)+len(r))
+	for i, c := range l {
+		env[c] = i
+	}
+	for i, c := range r {
+		env[c] = len(l) + i
+	}
+	return env
+}
+
+func concatRows(l, r datum.Row) datum.Row {
+	out := make(datum.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func nullRow(n int) datum.Row {
+	out := make(datum.Row, n)
+	for i := range out {
+		out[i] = datum.Null
+	}
+	return out
+}
+
+// keyOf builds a hash key from the given slots; ok is false when any key
+// datum is NULL (SQL equality never matches NULLs).
+func keyOf(row datum.Row, slots []int) (string, bool) {
+	var sb strings.Builder
+	for _, s := range slots {
+		if row[s].IsNull() {
+			return "", false
+		}
+		sb.WriteString(datum.Row{row[s]}.Key())
+	}
+	return sb.String(), true
+}
+
+// ---- hash join -------------------------------------------------------------
+
+type hashJoinIter struct {
+	plan        *physical.Expr
+	left, right Iterator
+
+	env        scalar.Env
+	leftSlots  []int
+	rightSlots []int
+	rightWidth int
+
+	table map[string][]datum.Row
+
+	leftRow datum.Row
+	matches []datum.Row
+	midx    int
+	matched bool
+
+	done bool
+}
+
+func newHashJoin(plan *physical.Expr, left, right Iterator) Iterator {
+	return &hashJoinIter{plan: plan, left: left, right: right}
+}
+
+func (h *hashJoinIter) Open() error {
+	h.env = combinedEnv(h.plan)
+	lcols := h.plan.Children[0].OutputCols()
+	rcols := h.plan.Children[1].OutputCols()
+	h.rightWidth = len(rcols)
+	lenv := envOf(lcols)
+	renv := envOf(rcols)
+	h.leftSlots = make([]int, len(h.plan.EquiLeft))
+	for i, c := range h.plan.EquiLeft {
+		h.leftSlots[i] = lenv[c]
+	}
+	h.rightSlots = make([]int, len(h.plan.EquiRight))
+	for i, c := range h.plan.EquiRight {
+		h.rightSlots[i] = renv[c]
+	}
+	rows, err := drain(h.right)
+	if err != nil {
+		return err
+	}
+	h.table = make(map[string][]datum.Row)
+	for _, row := range rows {
+		if key, ok := keyOf(row, h.rightSlots); ok {
+			h.table[key] = append(h.table[key], row)
+		}
+	}
+	h.leftRow, h.matches, h.midx, h.matched, h.done = nil, nil, 0, false, false
+	return h.left.Open()
+}
+
+func (h *hashJoinIter) Next() (datum.Row, error) {
+	if h.done {
+		return nil, nil
+	}
+	for {
+		// Emit pending matches for the current left row.
+		for h.leftRow != nil && h.midx < len(h.matches) {
+			rrow := h.matches[h.midx]
+			h.midx++
+			combined := concatRows(h.leftRow, rrow)
+			ok, err := scalar.EvalBool(h.plan.On, combined, h.env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			h.matched = true
+			switch h.plan.JoinType {
+			case physical.JoinInner, physical.JoinLeft:
+				return combined, nil
+			case physical.JoinSemi:
+				h.matches = nil // one match suffices
+				return h.leftRow, nil
+			case physical.JoinAnti:
+				h.matches = nil // disqualified
+			}
+		}
+		// Current left row exhausted; handle outer/anti fallout.
+		if h.leftRow != nil {
+			lrow := h.leftRow
+			h.leftRow = nil
+			if !h.matched {
+				switch h.plan.JoinType {
+				case physical.JoinLeft:
+					return concatRows(lrow, nullRow(h.rightWidth)), nil
+				case physical.JoinAnti:
+					return lrow, nil
+				}
+			}
+		}
+		// Advance to the next left row.
+		lrow, err := h.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if lrow == nil {
+			h.done = true
+			return nil, nil
+		}
+		h.leftRow = lrow
+		h.matched = false
+		h.midx = 0
+		if key, ok := keyOf(lrow, h.leftSlots); ok {
+			h.matches = h.table[key]
+		} else {
+			h.matches = nil
+		}
+	}
+}
+
+func (h *hashJoinIter) Close() error {
+	err1 := h.left.Close()
+	err2 := h.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// ---- nested loops join ---------------------------------------------------------
+
+type nlJoinIter struct {
+	plan        *physical.Expr
+	left, right Iterator
+
+	env        scalar.Env
+	rightRows  []datum.Row
+	rightWidth int
+
+	leftRow datum.Row
+	ridx    int
+	matched bool
+	done    bool
+}
+
+func newNLJoin(plan *physical.Expr, left, right Iterator) Iterator {
+	return &nlJoinIter{plan: plan, left: left, right: right}
+}
+
+func (n *nlJoinIter) Open() error {
+	n.env = combinedEnv(n.plan)
+	n.rightWidth = len(n.plan.Children[1].OutputCols())
+	rows, err := drain(n.right)
+	if err != nil {
+		return err
+	}
+	n.rightRows = rows
+	n.leftRow, n.ridx, n.matched, n.done = nil, 0, false, false
+	return n.left.Open()
+}
+
+func (n *nlJoinIter) Next() (datum.Row, error) {
+	if n.done {
+		return nil, nil
+	}
+	for {
+		for n.leftRow != nil && n.ridx < len(n.rightRows) {
+			rrow := n.rightRows[n.ridx]
+			n.ridx++
+			combined := concatRows(n.leftRow, rrow)
+			ok, err := scalar.EvalBool(n.plan.On, combined, n.env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			n.matched = true
+			switch n.plan.JoinType {
+			case physical.JoinInner, physical.JoinLeft:
+				return combined, nil
+			case physical.JoinSemi:
+				n.ridx = len(n.rightRows)
+				return n.leftRow, nil
+			case physical.JoinAnti:
+				n.ridx = len(n.rightRows)
+			}
+		}
+		if n.leftRow != nil {
+			lrow := n.leftRow
+			n.leftRow = nil
+			if !n.matched {
+				switch n.plan.JoinType {
+				case physical.JoinLeft:
+					return concatRows(lrow, nullRow(n.rightWidth)), nil
+				case physical.JoinAnti:
+					return lrow, nil
+				}
+			}
+		}
+		lrow, err := n.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if lrow == nil {
+			n.done = true
+			return nil, nil
+		}
+		n.leftRow = lrow
+		n.ridx = 0
+		n.matched = false
+	}
+}
+
+func (n *nlJoinIter) Close() error {
+	err1 := n.left.Close()
+	err2 := n.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// ---- merge join (inner) ----------------------------------------------------------
+
+type mergeJoinIter struct {
+	plan        *physical.Expr
+	left, right Iterator
+
+	env scalar.Env
+	out []datum.Row
+	pos int
+}
+
+func newMergeJoin(plan *physical.Expr, left, right Iterator) Iterator {
+	return &mergeJoinIter{plan: plan, left: left, right: right}
+}
+
+// Open sorts both inputs on the equi-join keys and merges matching key
+// groups, applying the full predicate to each candidate pair.
+func (m *mergeJoinIter) Open() error {
+	m.env = combinedEnv(m.plan)
+	lenv := envOf(m.plan.Children[0].OutputCols())
+	renv := envOf(m.plan.Children[1].OutputCols())
+	lslots := make([]int, len(m.plan.EquiLeft))
+	for i, c := range m.plan.EquiLeft {
+		lslots[i] = lenv[c]
+	}
+	rslots := make([]int, len(m.plan.EquiRight))
+	for i, c := range m.plan.EquiRight {
+		rslots[i] = renv[c]
+	}
+	lrows, err := drain(m.left)
+	if err != nil {
+		return err
+	}
+	rrows, err := drain(m.right)
+	if err != nil {
+		return err
+	}
+	byKey := func(rows []datum.Row, slots []int) {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, s := range slots {
+				c := datum.TotalCompare(rows[i][s], rows[j][s])
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	byKey(lrows, lslots)
+	byKey(rrows, rslots)
+
+	cmpKeys := func(l, r datum.Row) int {
+		for i := range lslots {
+			if c := datum.TotalCompare(l[lslots[i]], r[rslots[i]]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	hasNullKey := func(row datum.Row, slots []int) bool {
+		for _, s := range slots {
+			if row[s].IsNull() {
+				return true
+			}
+		}
+		return false
+	}
+
+	m.out = m.out[:0]
+	li, ri := 0, 0
+	for li < len(lrows) && ri < len(rrows) {
+		if hasNullKey(lrows[li], lslots) {
+			li++
+			continue
+		}
+		if hasNullKey(rrows[ri], rslots) {
+			ri++
+			continue
+		}
+		c := cmpKeys(lrows[li], rrows[ri])
+		if c < 0 {
+			li++
+			continue
+		}
+		if c > 0 {
+			ri++
+			continue
+		}
+		// Key group: advance both ends and cross-product the group.
+		le := li
+		for le < len(lrows) && cmpKeys(lrows[le], rrows[ri]) == 0 {
+			le++
+		}
+		re := ri
+		for re < len(rrows) && cmpKeys(lrows[li], rrows[re]) == 0 {
+			re++
+		}
+		for i := li; i < le; i++ {
+			for j := ri; j < re; j++ {
+				combined := concatRows(lrows[i], rrows[j])
+				ok, err := scalar.EvalBool(m.plan.On, combined, m.env)
+				if err != nil {
+					return err
+				}
+				if ok {
+					m.out = append(m.out, combined)
+				}
+			}
+		}
+		li, ri = le, re
+	}
+	m.pos = 0
+	return nil
+}
+
+func (m *mergeJoinIter) Next() (datum.Row, error) {
+	if m.pos >= len(m.out) {
+		return nil, nil
+	}
+	row := m.out[m.pos]
+	m.pos++
+	return row, nil
+}
+
+func (m *mergeJoinIter) Close() error {
+	err1 := m.left.Close()
+	err2 := m.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrintFig9And10(t *testing.T) {
+	results := []*PairGenResult{
+		{N: 15, Pairs: 105, RandomTrials: 1187, PatternTrials: 383,
+			RandomElapsed: 2 * time.Second, PatternElapsed: 300 * time.Millisecond},
+		{N: 30, Pairs: 435, RandomTrials: 13000, PatternTrials: 950,
+			RandomElapsed: 9 * time.Second, PatternElapsed: time.Second},
+	}
+	var sb strings.Builder
+	PrintFig9(&sb, results)
+	out := sb.String()
+	for _, frag := range []string{"Figure 9", "1187", "383", "13000", "3.1x", "13.7x"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig9 output missing %q:\n%s", frag, out)
+		}
+	}
+	sb.Reset()
+	PrintFig10(&sb, results)
+	out = sb.String()
+	for _, frag := range []string{"Figure 10", "2s", "300ms"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig10 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrintCompression(t *testing.T) {
+	rows := []*CompressionRow{
+		{N: 5, K: 10, Baseline: 1000, SMC: 120, TopK: 100},
+		{N: 10, K: 10, Baseline: 5000, SMC: 600, TopK: 400},
+	}
+	var sb strings.Builder
+	PrintCompression(&sb, "title-here", rows, false)
+	out := sb.String()
+	for _, frag := range []string{"title-here", "10.0x", "1.20x", "12.5x", "1.50x"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("compression output missing %q:\n%s", frag, out)
+		}
+	}
+	sb.Reset()
+	PrintCompression(&sb, "by-k", rows, true)
+	if !strings.Contains(sb.String(), "k") {
+		t.Error("by-k header missing")
+	}
+}
+
+func TestPrintFig14(t *testing.T) {
+	rows := []*MonotonicityRow{
+		{N: 5, Pairs: 10, CallsFull: 90, CallsMono: 12, CostsEqual: true},
+	}
+	var sb strings.Builder
+	PrintFig14(&sb, rows)
+	out := sb.String()
+	for _, frag := range []string{"Figure 14", "90", "12", "7.5x", "true"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig14 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig8Print(t *testing.T) {
+	res := &Fig8Result{Rows: []GenRow{
+		{Label: "1:JoinCommute", RandomTrials: 10, PatternTrials: 1},
+		{Label: "2:Other", RandomTrials: 256, RandomFailed: true, PatternTrials: 2},
+	}}
+	var sb strings.Builder
+	res.Print(&sb)
+	out := sb.String()
+	for _, frag := range []string{"JoinCommute", ">256", "TOTAL", "266", "3"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig8 output missing %q:\n%s", frag, out)
+		}
+	}
+	r, p := res.Totals()
+	if r != 266 || p != 3 {
+		t.Errorf("totals = %d, %d", r, p)
+	}
+}

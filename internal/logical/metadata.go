@@ -1,0 +1,100 @@
+package logical
+
+import (
+	"fmt"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/scalar"
+)
+
+// ColumnMeta describes one ColumnID: where it came from and its type.
+type ColumnMeta struct {
+	// Name is a display name; synthesized columns get "c<ID>"-style names.
+	Name string
+	Type datum.Type
+	// Table and TableCol identify the base column for columns produced by
+	// Get; both are empty for computed columns.
+	Table    string
+	TableCol string
+}
+
+// Metadata allocates ColumnIDs for one query and records what each refers to.
+// Every logical tree is interpreted relative to exactly one Metadata.
+type Metadata struct {
+	cols   []ColumnMeta // index = ColumnID-1
+	cat    *catalog.Catalog
+	tables int
+}
+
+// NewMetadata returns metadata bound to the given catalog.
+func NewMetadata(cat *catalog.Catalog) *Metadata {
+	return &Metadata{cat: cat}
+}
+
+// Catalog returns the catalog the metadata resolves tables against.
+func (m *Metadata) Catalog() *catalog.Catalog { return m.cat }
+
+// AddColumn allocates a fresh ColumnID.
+func (m *Metadata) AddColumn(meta ColumnMeta) scalar.ColumnID {
+	m.cols = append(m.cols, meta)
+	return scalar.ColumnID(len(m.cols))
+}
+
+// Column returns the metadata for id; it panics on an unknown id, which
+// always indicates a bug in tree construction.
+func (m *Metadata) Column(id scalar.ColumnID) ColumnMeta {
+	if id < 1 || int(id) > len(m.cols) {
+		panic(fmt.Sprintf("logical: unknown column id %d", id))
+	}
+	return m.cols[id-1]
+}
+
+// NumColumns returns how many columns have been allocated.
+func (m *Metadata) NumColumns() int { return len(m.cols) }
+
+// AddTable allocates fresh ColumnIDs for every column of the named table and
+// returns a Get expression over them. Each call returns distinct ids, so the
+// same table can be scanned several times in one query.
+func (m *Metadata) AddTable(name string) (*Expr, error) {
+	t, err := m.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	m.tables++
+	ids := make([]scalar.ColumnID, len(t.Columns))
+	for i, col := range t.Columns {
+		ids[i] = m.AddColumn(ColumnMeta{
+			Name:     col.Name,
+			Type:     col.Type,
+			Table:    name,
+			TableCol: col.Name,
+		})
+	}
+	return &Expr{Op: OpGet, Table: name, Cols: ids}, nil
+}
+
+// ColumnName returns a SQL-safe unique name for the column ("c<ID>"); the SQL
+// generator and binder both use this scheme, which is what makes generated
+// SQL round-trippable.
+func (m *Metadata) ColumnName(id scalar.ColumnID) string {
+	return fmt.Sprintf("c%d", id)
+}
+
+// BaseColumn returns the catalog column behind id, or ok=false for computed
+// columns.
+func (m *Metadata) BaseColumn(id scalar.ColumnID) (table *catalog.Table, colIdx int, ok bool) {
+	cm := m.Column(id)
+	if cm.Table == "" {
+		return nil, 0, false
+	}
+	t, err := m.cat.Table(cm.Table)
+	if err != nil {
+		return nil, 0, false
+	}
+	idx := t.ColumnIndex(cm.TableCol)
+	if idx < 0 {
+		return nil, 0, false
+	}
+	return t, idx, true
+}

@@ -1,0 +1,286 @@
+// Package memo implements the optimizer's memo: a forest of groups of
+// logically equivalent expressions, as in Volcano/Cascades [12][13]. The
+// memo provides interning (structural deduplication) of expressions, which
+// is what keeps exploration to a fixpoint finite.
+package memo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/scalar"
+)
+
+// GroupID identifies a group of equivalent expressions. IDs start at 1.
+type GroupID int
+
+// MExpr is a logical expression inside the memo: an operator payload plus
+// child group references.
+type MExpr struct {
+	// Node carries the operator and its arguments; Node.Children is unused.
+	Node *logical.Expr
+	// Kids are the child groups, in operator order.
+	Kids []GroupID
+	// Group is the group this expression belongs to.
+	Group GroupID
+	// Applied records rules already fired on this expression, keyed by rule
+	// ID, so each (rule, expression) pair fires at most once.
+	Applied map[int]bool
+	// CreatedBy is the ID of the rule whose substitution created this
+	// expression, or 0 for expressions of the original query tree. It
+	// powers rule-interaction tracking (§7): rule r2 exercised on an
+	// expression created by r1.
+	CreatedBy int
+}
+
+// Op returns the operator of the expression.
+func (e *MExpr) Op() logical.Op { return e.Node.Op }
+
+// Group is a set of logically equivalent expressions with shared logical
+// properties.
+type Group struct {
+	ID    GroupID
+	Exprs []*MExpr
+	// Cols is the set of columns every expression in the group produces.
+	Cols scalar.ColSet
+}
+
+// Memo holds groups and the interning table.
+type Memo struct {
+	MD     *logical.Metadata
+	groups []*Group
+	intern map[string]*MExpr
+	nexprs int
+	// Root is the group representing the whole query.
+	Root GroupID
+}
+
+// New returns an empty memo over the given metadata.
+func New(md *logical.Metadata) *Memo {
+	return &Memo{MD: md, intern: make(map[string]*MExpr)}
+}
+
+// NumGroups returns the number of groups.
+func (m *Memo) NumGroups() int { return len(m.groups) }
+
+// NumExprs returns the total number of memo expressions.
+func (m *Memo) NumExprs() int { return m.nexprs }
+
+// Group returns the group with the given id.
+func (m *Memo) Group(id GroupID) *Group {
+	return m.groups[id-1]
+}
+
+// Groups returns all groups in creation order.
+func (m *Memo) Groups() []*Group { return m.groups }
+
+func exprKey(node *logical.Expr, kids []GroupID) string {
+	var sb strings.Builder
+	node.PayloadHashInto(&sb)
+	for _, k := range kids {
+		sb.WriteByte('@')
+		var buf [20]byte
+		sb.Write(strconv.AppendInt(buf[:0], int64(k), 10))
+	}
+	return sb.String()
+}
+
+// payloadOnly strips children from a logical node, keeping arguments.
+func payloadOnly(node *logical.Expr) *logical.Expr {
+	cp := node.Clone()
+	cp.Children = nil
+	return cp
+}
+
+// colSetOf computes the group column set for a node given its kid groups.
+func (m *Memo) colSetOf(node *logical.Expr, kids []GroupID) scalar.ColSet {
+	kidSet := func(i int) scalar.ColSet { return m.Group(kids[i]).Cols }
+	switch node.Op {
+	case logical.OpGet:
+		return scalar.NewColSet(node.Cols...)
+	case logical.OpSelect, logical.OpLimit, logical.OpSort:
+		return kidSet(0)
+	case logical.OpProject:
+		s := make(scalar.ColSet, len(node.Projs))
+		for _, p := range node.Projs {
+			s.Add(p.Out)
+		}
+		return s
+	case logical.OpJoin, logical.OpLeftJoin:
+		return kidSet(0).Union(kidSet(1))
+	case logical.OpSemiJoin, logical.OpAntiJoin:
+		return kidSet(0)
+	case logical.OpGroupBy:
+		s := make(scalar.ColSet)
+		for _, c := range node.GroupCols {
+			s.Add(c)
+		}
+		for _, a := range node.Aggs {
+			s.Add(a.Out)
+		}
+		return s
+	case logical.OpUnionAll:
+		return scalar.NewColSet(node.OutCols...)
+	}
+	return make(scalar.ColSet)
+}
+
+func (m *Memo) newGroup(node *logical.Expr, kids []GroupID) *Group {
+	g := &Group{ID: GroupID(len(m.groups) + 1)}
+	g.Cols = m.colSetOf(node, kids)
+	m.groups = append(m.groups, g)
+	return g
+}
+
+// addExpr places (node, kids) in group g, returning the expression and
+// whether it was newly added. If the identical expression already exists in a
+// DIFFERENT group, nothing is added (the memo does not merge groups; see
+// DESIGN.md) and added=false.
+func (m *Memo) addExpr(node *logical.Expr, kids []GroupID, g *Group, createdBy int) (*MExpr, bool) {
+	key := exprKey(node, kids)
+	if existing, ok := m.intern[key]; ok {
+		return existing, false
+	}
+	e := &MExpr{Node: payloadOnly(node), Kids: kids, Group: g.ID, Applied: make(map[int]bool), CreatedBy: createdBy}
+	g.Exprs = append(g.Exprs, e)
+	m.intern[key] = e
+	m.nexprs++
+	return e, true
+}
+
+// Insert interns a complete logical tree, creating groups bottom-up, and
+// returns the group holding its root. Structurally identical subtrees share
+// groups.
+func (m *Memo) Insert(tree *logical.Expr) GroupID {
+	kids := make([]GroupID, len(tree.Children))
+	for i, c := range tree.Children {
+		kids[i] = m.Insert(c)
+	}
+	key := exprKey(tree, kids)
+	if existing, ok := m.intern[key]; ok {
+		return existing.Group
+	}
+	g := m.newGroup(tree, kids)
+	m.addExpr(tree, kids, g, 0)
+	return g.ID
+}
+
+// SetRoot records the root group of the query.
+func (m *Memo) SetRoot(g GroupID) { m.Root = g }
+
+// BoundExpr is the currency between the memo and transformation rules: a
+// pattern match binds memo expressions into a BoundExpr tree whose leaves are
+// group references; a rule's substitute is likewise a BoundExpr tree that the
+// memo re-interns.
+type BoundExpr struct {
+	// Node is nil for a pure group-reference leaf.
+	Node *logical.Expr
+	Kids []*BoundExpr
+	// Group: for a leaf, the referenced group; for a bound (matched)
+	// expression, the group the expression lives in. Zero for rule-built
+	// substitute nodes that do not exist in the memo yet.
+	Group GroupID
+	// Src is the memo expression a concrete pattern node bound to; nil for
+	// leaves and substitutes. It carries provenance for rule-interaction
+	// tracking.
+	Src *MExpr
+}
+
+// GroupRef returns a leaf BoundExpr referencing group g.
+func GroupRef(g GroupID) *BoundExpr { return &BoundExpr{Group: g} }
+
+// NewBound returns a substitute node over kids.
+func NewBound(node *logical.Expr, kids ...*BoundExpr) *BoundExpr {
+	return &BoundExpr{Node: payloadOnly(node), Kids: kids}
+}
+
+// IsLeaf reports whether b is a pure group reference.
+func (b *BoundExpr) IsLeaf() bool { return b.Node == nil }
+
+// Cols returns the output column set of the bound expression.
+func (m *Memo) Cols(b *BoundExpr) scalar.ColSet {
+	if b.IsLeaf() {
+		return m.Group(b.Group).Cols
+	}
+	switch b.Node.Op {
+	case logical.OpGet, logical.OpProject, logical.OpGroupBy, logical.OpUnionAll:
+		return m.colSetOf(b.Node, nil)
+	case logical.OpJoin, logical.OpLeftJoin:
+		return m.Cols(b.Kids[0]).Union(m.Cols(b.Kids[1]))
+	default:
+		return m.Cols(b.Kids[0])
+	}
+}
+
+// ensureGroup interns a substitute BoundExpr subtree and returns its group.
+func (m *Memo) ensureGroup(b *BoundExpr, createdBy int) GroupID {
+	if b.IsLeaf() {
+		return b.Group
+	}
+	kids := make([]GroupID, len(b.Kids))
+	for i, k := range b.Kids {
+		kids[i] = m.ensureGroup(k, createdBy)
+	}
+	key := exprKey(b.Node, kids)
+	if existing, ok := m.intern[key]; ok {
+		return existing.Group
+	}
+	g := m.newGroup(b.Node, kids)
+	m.addExpr(b.Node, kids, g, createdBy)
+	return g.ID
+}
+
+// InsertSubstitute adds the root of a rule's substitute tree to the target
+// group (the group of the matched expression). It returns true if a new
+// expression was added anywhere.
+func (m *Memo) InsertSubstitute(b *BoundExpr, target GroupID) bool {
+	return m.InsertSubstituteFrom(b, target, 0)
+}
+
+// InsertSubstituteFrom is InsertSubstitute recording the creating rule's ID
+// on every newly added expression.
+func (m *Memo) InsertSubstituteFrom(b *BoundExpr, target GroupID, createdBy int) bool {
+	if b.IsLeaf() {
+		// A substitute that is just "the child group" (e.g. eliminating a
+		// no-op operator) cannot be expressed without group merging; skip.
+		return false
+	}
+	before := m.NumExprs()
+	kids := make([]GroupID, len(b.Kids))
+	for i, k := range b.Kids {
+		kids[i] = m.ensureGroup(k, createdBy)
+	}
+	m.addExpr(b.Node, kids, m.Group(target), createdBy)
+	return m.NumExprs() > before
+}
+
+// ExtractFirst rebuilds a logical tree from the first (original) expression
+// of each group, for debugging and for tests.
+func (m *Memo) ExtractFirst(g GroupID) *logical.Expr {
+	e := m.Group(g).Exprs[0]
+	node := e.Node.Clone()
+	node.Children = make([]*logical.Expr, len(e.Kids))
+	for i, k := range e.Kids {
+		node.Children[i] = m.ExtractFirst(k)
+	}
+	return node
+}
+
+// String renders the memo for debugging.
+func (m *Memo) String() string {
+	var sb strings.Builder
+	for _, g := range m.groups {
+		fmt.Fprintf(&sb, "G%d:", g.ID)
+		for _, e := range g.Exprs {
+			fmt.Fprintf(&sb, " [%s", e.Node.Op)
+			for _, k := range e.Kids {
+				fmt.Fprintf(&sb, " G%d", k)
+			}
+			sb.WriteString("]")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

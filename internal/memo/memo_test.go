@@ -1,0 +1,165 @@
+package memo
+
+import (
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/scalar"
+)
+
+func newMD(t *testing.T) *logical.Metadata {
+	t.Helper()
+	return logical.NewMetadata(catalog.LoadTPCH(catalog.DefaultTPCHConfig()))
+}
+
+func scan(t *testing.T, md *logical.Metadata, name string) *logical.Expr {
+	t.Helper()
+	e, err := md.AddTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestInsertInternsIdenticalSubtrees(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	// Two references to the same Get expression share one group.
+	on := scalar.TrueExpr()
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{r, r.Clone()}, On: on}
+	m := New(md)
+	root := m.Insert(join)
+	if m.NumGroups() != 2 {
+		t.Errorf("expected 2 groups (get, join), got %d", m.NumGroups())
+	}
+	e := m.Group(root).Exprs[0]
+	if e.Kids[0] != e.Kids[1] {
+		t.Error("identical subtrees should intern to the same group")
+	}
+}
+
+func TestInsertDistinctTablesDistinctGroups(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{r, n}, On: scalar.TrueExpr()}
+	m := New(md)
+	root := m.Insert(join)
+	if m.NumGroups() != 3 {
+		t.Errorf("expected 3 groups, got %d", m.NumGroups())
+	}
+	g := m.Group(root)
+	if len(g.Cols) != 2+3 {
+		t.Errorf("join group col set size = %d", len(g.Cols))
+	}
+}
+
+func TestInsertSubstituteDedup(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r}, On: scalar.TrueExpr()}
+	m := New(md)
+	root := m.Insert(join)
+	e := m.Group(root).Exprs[0]
+
+	// Commute: Join(r, n) is new.
+	sub := NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.TrueExpr()},
+		GroupRef(e.Kids[1]), GroupRef(e.Kids[0]))
+	if !m.InsertSubstitute(sub, root) {
+		t.Fatal("first substitute should add an expression")
+	}
+	if len(m.Group(root).Exprs) != 2 {
+		t.Fatalf("group should have 2 exprs, got %d", len(m.Group(root).Exprs))
+	}
+	// Re-inserting the same substitute must be a no-op.
+	if m.InsertSubstitute(sub, root) {
+		t.Error("duplicate substitute should not add")
+	}
+	// Re-inserting the original expression must be a no-op too.
+	orig := NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.TrueExpr()},
+		GroupRef(e.Kids[0]), GroupRef(e.Kids[1]))
+	if m.InsertSubstitute(orig, root) {
+		t.Error("original substitute should dedup")
+	}
+}
+
+func TestInsertSubstituteCreatesInnerGroups(t *testing.T) {
+	md := newMD(t)
+	n := scan(t, md, "nation")
+	m := New(md)
+	root := m.Insert(n)
+	before := m.NumGroups()
+
+	filter := &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: n.Cols[0]}, R: &scalar.Const{}}
+	// Select(Select(get)) as a two-level substitute.
+	inner := NewBound(&logical.Expr{Op: logical.OpSelect, Filter: filter}, GroupRef(root))
+	outer := NewBound(&logical.Expr{Op: logical.OpSelect, Filter: filter}, inner)
+	// Insert into a new group context: we abuse root here — in real use the
+	// target group is logically equivalent; for this structural test we
+	// just verify group creation mechanics.
+	m.InsertSubstitute(outer, root)
+	if m.NumGroups() != before+1 {
+		t.Errorf("expected exactly one new group for the inner select, got %d new", m.NumGroups()-before)
+	}
+}
+
+func TestLeafSubstituteRejected(t *testing.T) {
+	md := newMD(t)
+	n := scan(t, md, "nation")
+	m := New(md)
+	root := m.Insert(n)
+	if m.InsertSubstitute(GroupRef(root), root) {
+		t.Error("a pure group reference cannot be inserted as a substitute")
+	}
+}
+
+func TestExtractFirstRoundTrips(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r}, On: scalar.TrueExpr()}
+	sel := &logical.Expr{Op: logical.OpSelect, Children: []*logical.Expr{join},
+		Filter: &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: n.Cols[0]}, R: &scalar.Const{}}}
+	m := New(md)
+	root := m.Insert(sel)
+	m.SetRoot(root)
+	got := m.ExtractFirst(root)
+	if got.Hash() != sel.Hash() {
+		t.Errorf("ExtractFirst differs:\n%s\nvs\n%s", got, sel)
+	}
+}
+
+func TestGroupColsPerOp(t *testing.T) {
+	md := newMD(t)
+	n := scan(t, md, "nation")
+	agg := md.AddColumn(logical.ColumnMeta{Name: "agg"})
+	gb := &logical.Expr{Op: logical.OpGroupBy, Children: []*logical.Expr{n},
+		GroupCols: []scalar.ColumnID{n.Cols[2]},
+		Aggs:      []scalar.Agg{{Op: scalar.AggCountStar, Out: agg}}}
+	m := New(md)
+	root := m.Insert(gb)
+	cols := m.Group(root).Cols
+	if len(cols) != 2 || !cols.Contains(n.Cols[2]) || !cols.Contains(agg) {
+		t.Errorf("groupby group cols wrong: %v", cols.Sorted())
+	}
+}
+
+func TestBoundExprCols(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	m := New(md)
+	gr := m.Insert(r)
+	gn := m.Insert(n)
+	join := NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.TrueExpr()}, GroupRef(gn), GroupRef(gr))
+	cols := m.Cols(join)
+	if len(cols) != 5 {
+		t.Errorf("bound join cols = %d, want 5", len(cols))
+	}
+	sel := NewBound(&logical.Expr{Op: logical.OpSelect, Filter: scalar.TrueExpr()}, join)
+	if len(m.Cols(sel)) != 5 {
+		t.Error("bound select cols should pass through")
+	}
+}

@@ -1,0 +1,82 @@
+package opt
+
+import (
+	"math"
+
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// Cost model: one unit ≈ one row touched. The absolute numbers are
+// arbitrary; what matters for the paper's experiments is the ordering it
+// induces (nested loops ≫ hash join, pushed-down filters shrink
+// intermediates, sorts pay n·log n), because Figures 11–13 compare
+// optimizer-estimated costs of plans with rules on versus off.
+const (
+	cpuFactor   = 1.0
+	hashFactor  = 1.2 // per-row cost of building/probing a hash table
+	sortFactor  = 1.1 // multiplier on n·log2(n) for sorts
+	nlProbeCost = 0.5 // per inner-row probe cost for nested loops
+)
+
+// predWeight models per-row predicate evaluation cost: a conjunction of n
+// comparisons costs more to evaluate than a single one. This keeps the cost
+// order strict between plans that differ only in where (and whether)
+// predicates are evaluated.
+func predWeight(pred scalar.Expr) float64 {
+	if pred == nil {
+		return 0.8
+	}
+	return 0.8 + 0.2*float64(len(scalar.Conjuncts(pred)))
+}
+
+// joinTypeFactor models the relative per-row cost of the join variants:
+// outer joins track matches and emit null-extended rows (slightly dearer);
+// semi and anti joins can stop probing at the first match (cheaper).
+func joinTypeFactor(t physical.JoinType) float64 {
+	switch t {
+	case physical.JoinLeft:
+		return 1.05
+	case physical.JoinSemi, physical.JoinAnti:
+		return 0.9
+	default:
+		return 1.0
+	}
+}
+
+// localCost returns the operator's own cost, excluding children, given the
+// node's annotated output Rows and its children's annotated Rows.
+func localCost(e *physical.Expr) float64 {
+	childRows := func(i int) float64 { return e.Children[i].Rows }
+	log2 := func(n float64) float64 { return math.Log2(n + 2) }
+	switch e.Op {
+	case physical.OpScan:
+		return cpuFactor * e.Rows
+	case physical.OpFilter:
+		return cpuFactor * childRows(0) * predWeight(e.Filter)
+	case physical.OpProject:
+		return cpuFactor * childRows(0)
+	case physical.OpHashJoin:
+		return joinTypeFactor(e.JoinType)*hashFactor*(childRows(0)+childRows(1)) +
+			cpuFactor*e.Rows*predWeight(e.On)
+	case physical.OpMergeJoin:
+		l, r := childRows(0), childRows(1)
+		return sortFactor*(l*log2(l)+r*log2(r)) + cpuFactor*e.Rows*predWeight(e.On)
+	case physical.OpNLJoin:
+		return joinTypeFactor(e.JoinType)*nlProbeCost*childRows(0)*childRows(1)*predWeight(e.On) +
+			cpuFactor*childRows(0)
+	case physical.OpHashAgg:
+		return hashFactor*childRows(0) + cpuFactor*e.Rows
+	case physical.OpSortAgg:
+		in := childRows(0)
+		return sortFactor*in*log2(in) + cpuFactor*e.Rows
+	case physical.OpSort:
+		in := childRows(0)
+		return sortFactor * in * log2(in)
+	case physical.OpLimit:
+		return cpuFactor * e.Rows
+	case physical.OpConcat:
+		return cpuFactor * (childRows(0) + childRows(1))
+	}
+	return cpuFactor * e.Rows
+}

@@ -1,0 +1,270 @@
+// Package opt implements the transformation-rule-based query optimizer: a
+// top-down memo optimizer in the style of Volcano/Cascades [12][13], with the
+// two extensions the paper's testing framework requires (§2.3):
+//
+//   - RuleSet tracking: every optimization records which transformation
+//     rules were exercised, exposed as Result.RuleSet.
+//   - Rule disabling: Options.Disabled optimizes the query as if the given
+//     rules did not exist, yielding Plan(q, ¬R).
+package opt
+
+import (
+	"errors"
+	"fmt"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/rules"
+)
+
+// Limits on exploration, to bound optimization of adversarial queries. They
+// are generous relative to the query sizes the framework generates.
+const (
+	defaultMaxExprs  = 1200
+	defaultMaxPasses = 12
+)
+
+// Options configures one optimization call.
+type Options struct {
+	// Disabled rules are skipped entirely: their patterns are never matched
+	// and their substitutes never generated (Plan(q, ¬R), §2.2).
+	Disabled rules.Set
+	// MaxExprs caps total memo expressions (0 = default).
+	MaxExprs int
+	// MaxPasses caps exploration fixpoint passes (0 = default).
+	MaxPasses int
+	// DisableHistograms makes cardinality estimation fall back to
+	// distinct-count heuristics, for estimation-quality ablations.
+	DisableHistograms bool
+}
+
+// Result is the outcome of optimizing one query.
+type Result struct {
+	// Plan is the lowest-cost physical plan found.
+	Plan *physical.Expr
+	// Cost is the optimizer-estimated cost of Plan.
+	Cost float64
+	// RuleSet is the set of rules exercised during this optimization
+	// (RuleSet(q) in the paper, §2.2).
+	RuleSet rules.Set
+	// Interactions records observed rule interactions of the kind §7
+	// describes: a pair (r1, r2) is present when rule r2 was exercised on
+	// an expression that rule r1's substitution created.
+	Interactions map[[2]rules.ID]bool
+	// Memo is the final memo, exposed for inspection and tests.
+	Memo *memo.Memo
+}
+
+// Optimizer optimizes logical trees against a catalog using a rule registry.
+type Optimizer struct {
+	reg *rules.Registry
+	cat *catalog.Catalog
+}
+
+// New returns an optimizer over the given rules and test database.
+func New(reg *rules.Registry, cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{reg: reg, cat: cat}
+}
+
+// Registry returns the rule registry.
+func (o *Optimizer) Registry() *rules.Registry { return o.reg }
+
+// Catalog returns the catalog.
+func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// ErrNoPlan is returned when no physical plan exists for the query, which
+// happens when the implementation rules an operator needs are all disabled.
+var ErrNoPlan = errors.New("opt: no physical plan for query (implementation rules disabled?)")
+
+// Optimize explores the query's plan space and returns the best plan found,
+// the rules exercised, and the estimated cost.
+func (o *Optimizer) Optimize(tree *logical.Expr, md *logical.Metadata, opts Options) (*Result, error) {
+	if tree == nil {
+		return nil, errors.New("opt: nil query tree")
+	}
+	maxExprs := opts.MaxExprs
+	if maxExprs <= 0 {
+		maxExprs = defaultMaxExprs
+	}
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = defaultMaxPasses
+	}
+
+	m := memo.New(md)
+	root := m.Insert(tree)
+	m.SetRoot(root)
+
+	exercised := make(rules.Set)
+	interactions := make(map[[2]rules.ID]bool)
+	ctx := &rules.Context{Memo: m}
+
+	o.explore(ctx, exercised, interactions, opts.Disabled, maxExprs, maxPasses)
+
+	sb := newStatsBuilder(m)
+	sb.noHistograms = opts.DisableHistograms
+	imp := &implementor{
+		o: o, ctx: ctx, sb: sb,
+		exercised: exercised, disabled: opts.Disabled,
+		best: make(map[memo.GroupID]*physical.Expr), visiting: make(map[memo.GroupID]bool),
+	}
+	plan := imp.bestPlan(root)
+	if plan == nil {
+		return nil, ErrNoPlan
+	}
+	return &Result{Plan: plan, Cost: plan.Cost, RuleSet: exercised, Interactions: interactions, Memo: m}, nil
+}
+
+// explore runs exploration rules to a fixpoint (or the limits).
+func (o *Optimizer) explore(ctx *rules.Context, exercised rules.Set, interactions map[[2]rules.ID]bool, disabled rules.Set, maxExprs, maxPasses int) {
+	m := ctx.Memo
+	expl := o.reg.Exploration()
+	// Pattern bindings of an expression depend only on the expressions in
+	// its child groups (patterns are at most two concrete levels deep).
+	// kidVersion lets a pass skip re-binding a rule whose pattern found
+	// nothing last time unless a child group has grown since.
+	kidVersion := func(e *memo.MExpr) int {
+		v := 0
+		for _, k := range e.Kids {
+			v += len(m.Group(k).Exprs)
+		}
+		return v
+	}
+	triedAt := make(map[*memo.MExpr]int)
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		// Groups and expressions grow during iteration; index-based loops
+		// pick the new ones up within the same pass.
+		for gi := 1; gi <= m.NumGroups(); gi++ {
+			g := m.Group(memo.GroupID(gi))
+			for ei := 0; ei < len(g.Exprs); ei++ {
+				e := g.Exprs[ei]
+				ver := kidVersion(e)
+				if v, ok := triedAt[e]; ok && v == ver {
+					continue
+				}
+				triedAt[e] = ver
+				for _, r := range expl {
+					if disabled.Contains(r.ID()) || e.Applied[int(r.ID())] {
+						continue
+					}
+					binds := rules.Bind(m, e, r.Pattern())
+					if len(binds) == 0 {
+						// The pattern may start matching later, once child
+						// groups gain expressions; retry when they grow.
+						continue
+					}
+					e.Applied[int(r.ID())] = true
+					for _, b := range binds {
+						subs := r.Apply(ctx, b)
+						if len(subs) > 0 {
+							exercised.Add(r.ID())
+							recordInteractions(interactions, b, r.ID())
+						}
+						for _, sub := range subs {
+							if m.InsertSubstituteFrom(sub, e.Group, int(r.ID())) {
+								changed = true
+							}
+						}
+					}
+					if m.NumExprs() >= maxExprs {
+						return
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// recordInteractions notes, for every concrete expression the binding
+// matched that some earlier rule created, the interaction (creator, fired).
+func recordInteractions(interactions map[[2]rules.ID]bool, b *memo.BoundExpr, fired rules.ID) {
+	var walk func(x *memo.BoundExpr)
+	walk = func(x *memo.BoundExpr) {
+		if x.Src != nil && x.Src.CreatedBy != 0 && rules.ID(x.Src.CreatedBy) != fired {
+			interactions[[2]rules.ID{rules.ID(x.Src.CreatedBy), fired}] = true
+		}
+		for _, k := range x.Kids {
+			walk(k)
+		}
+	}
+	walk(b)
+}
+
+// implementor runs the implementation/costing phase: a bottom-up dynamic
+// program over the memo choosing the cheapest physical expression per group.
+type implementor struct {
+	o         *Optimizer
+	ctx       *rules.Context
+	sb        *statsBuilder
+	exercised rules.Set
+	disabled  rules.Set
+	best      map[memo.GroupID]*physical.Expr
+	visiting  map[memo.GroupID]bool
+}
+
+func (imp *implementor) bestPlan(g memo.GroupID) *physical.Expr {
+	if p, ok := imp.best[g]; ok {
+		return p
+	}
+	if imp.visiting[g] {
+		// Defensive: a cyclic group reference cannot yield a finite plan.
+		return nil
+	}
+	imp.visiting[g] = true
+	defer delete(imp.visiting, g)
+
+	group := imp.ctx.Memo.Group(g)
+	st := imp.sb.stats(g)
+	var best *physical.Expr
+	for _, e := range group.Exprs {
+		kidPlans := make([]*physical.Expr, len(e.Kids))
+		ok := true
+		for i, k := range e.Kids {
+			kidPlans[i] = imp.bestPlan(k)
+			if kidPlans[i] == nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, ir := range imp.o.reg.Implementation() {
+			if imp.disabled.Contains(ir.ID()) {
+				continue
+			}
+			if ir.Pattern().Op != e.Op() {
+				continue
+			}
+			cands := ir.Implement(imp.ctx, e)
+			if len(cands) > 0 {
+				imp.exercised.Add(ir.ID())
+			}
+			for _, cand := range cands {
+				cand.Children = kidPlans
+				cand.Rows = st.rows
+				cost := localCost(cand)
+				for _, kp := range kidPlans {
+					cost += kp.Cost
+				}
+				cand.Cost = cost
+				if best == nil || cand.Cost < best.Cost {
+					best = cand
+				}
+			}
+		}
+	}
+	imp.best[g] = best
+	return best
+}
+
+// String summarizes the optimizer configuration.
+func (o *Optimizer) String() string {
+	return fmt.Sprintf("optimizer{%d rules, %d tables}", len(o.reg.All()), o.cat.NumTables())
+}

@@ -1,0 +1,66 @@
+package opt
+
+import (
+	"testing"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/rules"
+)
+
+// TestSmokeEndToEnd drives the full pipeline: SQL → bind → optimize →
+// execute, and checks that disabling an exercised rule preserves results.
+func TestSmokeEndToEnd(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+	o := New(rules.DefaultRegistry(), cat)
+
+	queries := []string{
+		"SELECT n_name FROM nation WHERE n_regionkey = 2",
+		"SELECT n_name, r_name FROM nation JOIN region ON n_regionkey = r_regionkey WHERE r_name = 'ASIA'",
+		"SELECT c_nationkey, COUNT(*) AS cnt FROM customer GROUP BY c_nationkey",
+		"SELECT c_name FROM customer LEFT JOIN nation ON c_nationkey = n_nationkey WHERE c_acctbal > 0",
+		"SELECT o_orderkey FROM orders WHERE EXISTS (SELECT 1 AS one FROM lineitem WHERE l_orderkey = o_orderkey AND l_quantity > 30)",
+		"SELECT o_orderkey FROM orders WHERE NOT EXISTS (SELECT 1 AS one FROM lineitem WHERE l_orderkey = o_orderkey)",
+		"SELECT n_name FROM nation UNION ALL SELECT r_name FROM region",
+		"SELECT s_nationkey, MAX(s_acctbal) AS m FROM supplier JOIN nation ON s_nationkey = n_nationkey GROUP BY s_nationkey",
+	}
+	for _, q := range queries {
+		bound, err := bind.BindSQL(q, cat)
+		if err != nil {
+			t.Fatalf("bind %q: %v", q, err)
+		}
+		res, err := o.Optimize(bound.Tree, bound.MD, Options{})
+		if err != nil {
+			t.Fatalf("optimize %q: %v", q, err)
+		}
+		rows, err := exec.Run(res.Plan, cat)
+		if err != nil {
+			t.Fatalf("execute %q: %v\nplan:\n%s", q, err, res.Plan)
+		}
+		if len(res.RuleSet) == 0 {
+			t.Errorf("no rules exercised for %q", q)
+		}
+		// Disable each exercised exploration rule in turn; results must not
+		// change (the core correctness invariant of the paper).
+		for _, id := range res.RuleSet.Sorted() {
+			if id > 100 {
+				continue // implementation rules can be required for a plan
+			}
+			res2, err := o.Optimize(bound.Tree, bound.MD, Options{Disabled: rules.NewSet(id)})
+			if err != nil {
+				t.Fatalf("optimize %q with rule %d off: %v", q, id, err)
+			}
+			rows2, err := exec.Run(res2.Plan, cat)
+			if err != nil {
+				t.Fatalf("execute %q with rule %d off: %v\nplan:\n%s", q, id, err, res2.Plan)
+			}
+			if !exec.EqualMultisets(rows, rows2) {
+				t.Errorf("rule %d changes results of %q: %s", id, q, exec.DiffSummary(rows, rows2))
+			}
+			if res2.Cost < res.Cost-1e-6 {
+				t.Errorf("rule %d off yields cheaper plan for %q: %f < %f", id, q, res2.Cost, res.Cost)
+			}
+		}
+	}
+}

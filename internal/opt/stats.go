@@ -1,0 +1,327 @@
+package opt
+
+import (
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/scalar"
+)
+
+// groupStats is the optimizer's cardinality estimate for a memo group: a row
+// count plus per-column distinct-value estimates. Stats are a logical
+// property: every expression in a group shares them, so they are computed
+// from the group's first (original) expression.
+type groupStats struct {
+	rows     float64
+	distinct map[scalar.ColumnID]float64
+}
+
+const (
+	defaultSel  = 1.0 / 3 // selectivity of range and other opaque predicates
+	isNullSel   = 0.1
+	minSel      = 1e-7
+	minRows     = 1e-3
+	defaultDist = 10
+)
+
+func (s *groupStats) distinctOf(id scalar.ColumnID) float64 {
+	if d, ok := s.distinct[id]; ok && d > 0 {
+		return d
+	}
+	return defaultDist
+}
+
+// statsBuilder computes and caches group statistics.
+type statsBuilder struct {
+	m     *memo.Memo
+	cache map[memo.GroupID]*groupStats
+	// noHistograms disables histogram-based selectivity (ablation knob).
+	noHistograms bool
+}
+
+func newStatsBuilder(m *memo.Memo) *statsBuilder {
+	return &statsBuilder{m: m, cache: make(map[memo.GroupID]*groupStats)}
+}
+
+func (sb *statsBuilder) stats(g memo.GroupID) *groupStats {
+	if st, ok := sb.cache[g]; ok {
+		return st
+	}
+	// Insert a placeholder to terminate on (impossible in well-formed memos)
+	// cyclic group references.
+	placeholder := &groupStats{rows: 1, distinct: map[scalar.ColumnID]float64{}}
+	sb.cache[g] = placeholder
+	st := sb.compute(sb.m.Group(g).Exprs[0])
+	sb.cache[g] = st
+	return st
+}
+
+func (sb *statsBuilder) compute(e *memo.MExpr) *groupStats {
+	node := e.Node
+	switch node.Op {
+	case logical.OpGet:
+		t, err := sb.m.MD.Catalog().Table(node.Table)
+		st := &groupStats{rows: 1, distinct: make(map[scalar.ColumnID]float64)}
+		if err != nil {
+			return st
+		}
+		st.rows = float64(t.Stats.RowCount)
+		for i, col := range t.Columns {
+			if i < len(node.Cols) {
+				st.distinct[node.Cols[i]] = float64(t.Stats.DistinctCount[col.Name])
+			}
+		}
+		return st
+
+	case logical.OpSelect:
+		in := sb.stats(e.Kids[0])
+		sel := sb.selectivity(node.Filter, in, nil)
+		return scaleStats(in, in.rows*sel)
+
+	case logical.OpProject:
+		in := sb.stats(e.Kids[0])
+		st := &groupStats{rows: in.rows, distinct: make(map[scalar.ColumnID]float64, len(node.Projs))}
+		for _, it := range node.Projs {
+			if ref, ok := it.E.(*scalar.ColRef); ok {
+				st.distinct[it.Out] = in.distinctOf(ref.ID)
+			} else {
+				st.distinct[it.Out] = clampDist(in.rows, in.rows)
+			}
+		}
+		return st
+
+	case logical.OpJoin, logical.OpLeftJoin:
+		l := sb.stats(e.Kids[0])
+		r := sb.stats(e.Kids[1])
+		sel := sb.selectivity(node.On, l, r)
+		rows := l.rows * r.rows * sel
+		if node.Op == logical.OpLeftJoin && rows < l.rows {
+			rows = l.rows
+		}
+		rows = maxf(rows, minRows)
+		st := &groupStats{rows: rows, distinct: make(map[scalar.ColumnID]float64, len(l.distinct)+len(r.distinct))}
+		for id, d := range l.distinct {
+			st.distinct[id] = clampDist(d, rows)
+		}
+		for id, d := range r.distinct {
+			st.distinct[id] = clampDist(d, rows)
+		}
+		return st
+
+	case logical.OpSemiJoin, logical.OpAntiJoin:
+		l := sb.stats(e.Kids[0])
+		r := sb.stats(e.Kids[1])
+		sel := sb.selectivity(node.On, l, r)
+		p := minf(1, r.rows*sel) // probability a left row has a match
+		rows := l.rows * p
+		if node.Op == logical.OpAntiJoin {
+			rows = l.rows * (1 - p)
+		}
+		return scaleStats(l, maxf(rows, minRows))
+
+	case logical.OpGroupBy:
+		in := sb.stats(e.Kids[0])
+		if len(node.GroupCols) == 0 {
+			st := &groupStats{rows: 1, distinct: make(map[scalar.ColumnID]float64)}
+			for _, a := range node.Aggs {
+				st.distinct[a.Out] = 1
+			}
+			return st
+		}
+		groups := 1.0
+		for _, c := range node.GroupCols {
+			groups *= in.distinctOf(c)
+			if groups > in.rows {
+				groups = in.rows
+				break
+			}
+		}
+		groups = maxf(minf(groups, in.rows), minRows)
+		st := &groupStats{rows: groups, distinct: make(map[scalar.ColumnID]float64)}
+		for _, c := range node.GroupCols {
+			st.distinct[c] = clampDist(in.distinctOf(c), groups)
+		}
+		for _, a := range node.Aggs {
+			st.distinct[a.Out] = clampDist(groups, groups)
+		}
+		return st
+
+	case logical.OpUnionAll:
+		l := sb.stats(e.Kids[0])
+		r := sb.stats(e.Kids[1])
+		st := &groupStats{rows: l.rows + r.rows, distinct: make(map[scalar.ColumnID]float64, len(node.OutCols))}
+		for i, out := range node.OutCols {
+			d := defaultDist * 2.0
+			if len(node.InputCols) == 2 && i < len(node.InputCols[0]) && i < len(node.InputCols[1]) {
+				d = l.distinctOf(node.InputCols[0][i]) + r.distinctOf(node.InputCols[1][i])
+			}
+			st.distinct[out] = clampDist(d, st.rows)
+		}
+		return st
+
+	case logical.OpLimit:
+		in := sb.stats(e.Kids[0])
+		return scaleStats(in, minf(in.rows, float64(node.N)))
+
+	case logical.OpSort:
+		return sb.stats(e.Kids[0])
+	}
+	return &groupStats{rows: 1, distinct: map[scalar.ColumnID]float64{}}
+}
+
+// selectivity estimates the fraction of rows satisfying pred. For join
+// predicates, r carries the right side's stats; for filters r is nil.
+func (sb *statsBuilder) selectivity(pred scalar.Expr, l, r *groupStats) float64 {
+	dist := func(id scalar.ColumnID) float64 {
+		if r != nil {
+			if d, ok := r.distinct[id]; ok && d > 0 {
+				return d
+			}
+		}
+		return l.distinctOf(id)
+	}
+	var selOf func(e scalar.Expr) float64
+	selOf = func(e scalar.Expr) float64 {
+		switch t := e.(type) {
+		case *scalar.And:
+			s := 1.0
+			for _, k := range t.Kids {
+				s *= selOf(k)
+			}
+			return s
+		case *scalar.Or:
+			inv := 1.0
+			for _, k := range t.Kids {
+				inv *= 1 - selOf(k)
+			}
+			return 1 - inv
+		case *scalar.Not:
+			return maxf(1-selOf(t.Kid), minSel)
+		case *scalar.IsNull:
+			return isNullSel
+		case *scalar.Cmp:
+			lref, lok := t.L.(*scalar.ColRef)
+			rref, rok := t.R.(*scalar.ColRef)
+			// Column-versus-constant comparisons consult the base table's
+			// equi-depth histogram when one exists.
+			if lok && !rok {
+				if c, isConst := t.R.(*scalar.Const); isConst {
+					if s, ok := sb.histSelectivity(t.Op, lref.ID, c.D); ok {
+						return s
+					}
+				}
+			}
+			if rok && !lok {
+				if c, isConst := t.L.(*scalar.Const); isConst {
+					if s, ok := sb.histSelectivity(t.Op.Commute(), rref.ID, c.D); ok {
+						return s
+					}
+				}
+			}
+			var eq float64
+			switch {
+			case lok && rok:
+				eq = 1 / maxf(maxf(dist(lref.ID), dist(rref.ID)), 1)
+			case lok:
+				eq = 1 / maxf(dist(lref.ID), 1)
+			case rok:
+				eq = 1 / maxf(dist(rref.ID), 1)
+			default:
+				eq = defaultSel
+			}
+			switch t.Op {
+			case scalar.CmpEQ:
+				return maxf(eq, minSel)
+			case scalar.CmpNE:
+				return maxf(1-eq, minSel)
+			default:
+				return defaultSel
+			}
+		case *scalar.Const:
+			return 1
+		default:
+			return defaultSel
+		}
+	}
+	return maxf(minf(selOf(pred), 1), minSel)
+}
+
+// histSelectivity estimates a column-versus-constant comparison through the
+// base table's equi-depth histogram. ok is false when the column is computed
+// or has no histogram; the caller then falls back to distinct-count
+// heuristics. Base-table histograms are used at every plan level — the usual
+// approximation that post-operator distributions resemble base ones.
+func (sb *statsBuilder) histSelectivity(op scalar.CmpOp, id scalar.ColumnID, d datum.Datum) (float64, bool) {
+	if sb.noHistograms {
+		return 0, false
+	}
+	tbl, idx, ok := sb.m.MD.BaseColumn(id)
+	if !ok {
+		return 0, false
+	}
+	h := tbl.Stats.Histograms[tbl.Columns[idx].Name]
+	if h == nil || h.TotalCount == 0 {
+		return 0, false
+	}
+	v, ok := histValue(d)
+	if !ok {
+		return 0, false
+	}
+	nullFrac := float64(h.NullCount) / float64(h.TotalCount)
+	var s float64
+	switch op {
+	case scalar.CmpEQ:
+		s = h.SelectivityEQ(v)
+	case scalar.CmpNE:
+		s = 1 - h.SelectivityEQ(v) - nullFrac
+	case scalar.CmpLT:
+		s = h.SelectivityLT(v, false)
+	case scalar.CmpLE:
+		s = h.SelectivityLT(v, true)
+	case scalar.CmpGT:
+		s = 1 - h.SelectivityLT(v, true) - nullFrac
+	case scalar.CmpGE:
+		s = 1 - h.SelectivityLT(v, false) - nullFrac
+	default:
+		return 0, false
+	}
+	return maxf(minf(s, 1), minSel), true
+}
+
+func histValue(d datum.Datum) (float64, bool) {
+	switch d.K {
+	case datum.KindInt, datum.KindDate:
+		return float64(d.I), true
+	case datum.KindFloat:
+		return d.F, true
+	default:
+		return 0, false
+	}
+}
+
+func scaleStats(in *groupStats, rows float64) *groupStats {
+	rows = maxf(rows, minRows)
+	st := &groupStats{rows: rows, distinct: make(map[scalar.ColumnID]float64, len(in.distinct))}
+	for id, d := range in.distinct {
+		st.distinct[id] = clampDist(d, rows)
+	}
+	return st
+}
+
+func clampDist(d, rows float64) float64 {
+	return maxf(minf(d, rows), 1)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan as a Graphviz digraph, one node per operator labeled
+// with its estimates — handy when debugging why a rule's plan won or lost.
+func (e *Expr) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n")
+	n := 0
+	var walk func(x *Expr) int
+	walk = func(x *Expr) int {
+		id := n
+		n++
+		label := x.Op.String()
+		switch x.Op {
+		case OpScan:
+			label += "\\n" + x.Table
+		case OpHashJoin, OpNLJoin, OpMergeJoin:
+			label += "\\n" + x.JoinType.String()
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\nrows=%.0f cost=%.1f\"];\n", id, label, x.Rows, x.Cost)
+		for _, c := range x.Children {
+			cid := walk(c)
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", id, cid)
+		}
+		return id
+	}
+	walk(e)
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,219 @@
+// Package physical defines executable operator trees: the output of the
+// optimizer's implementation phase and the input to the execution engine.
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/scalar"
+)
+
+// Op enumerates physical operators.
+type Op int
+
+// Physical operators.
+const (
+	OpScan Op = iota
+	OpFilter
+	OpProject
+	OpHashJoin
+	OpNLJoin
+	OpMergeJoin
+	OpHashAgg
+	OpSortAgg
+	OpSort
+	OpLimit
+	OpConcat
+)
+
+var opNames = [...]string{
+	OpScan:      "Scan",
+	OpFilter:    "Filter",
+	OpProject:   "Project",
+	OpHashJoin:  "HashJoin",
+	OpNLJoin:    "NLJoin",
+	OpMergeJoin: "MergeJoin",
+	OpHashAgg:   "HashAgg",
+	OpSortAgg:   "SortAgg",
+	OpSort:      "Sort",
+	OpLimit:     "Limit",
+	OpConcat:    "Concat",
+}
+
+// String returns the operator name.
+func (o Op) String() string { return opNames[o] }
+
+// JoinType distinguishes the join variants a physical join can execute.
+type JoinType int
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinSemi
+	JoinAnti
+)
+
+var joinNames = [...]string{"Inner", "Left", "Semi", "Anti"}
+
+// String returns the join type name.
+func (t JoinType) String() string { return joinNames[t] }
+
+// Expr is a physical operator tree node annotated with the optimizer's
+// cardinality and cost estimates.
+type Expr struct {
+	Op       Op
+	JoinType JoinType
+	Children []*Expr
+
+	// OpScan
+	Table string
+	Cols  []scalar.ColumnID
+
+	// OpFilter
+	Filter scalar.Expr
+
+	// joins: On is the full predicate; EquiLeft/EquiRight are the key
+	// columns hash and merge joins probe on (always a subset of On).
+	On        scalar.Expr
+	EquiLeft  []scalar.ColumnID
+	EquiRight []scalar.ColumnID
+
+	// OpProject
+	Projs []logical.ProjItem
+
+	// aggregation
+	GroupCols []scalar.ColumnID
+	Aggs      []scalar.Agg
+
+	// OpConcat
+	OutCols   []scalar.ColumnID
+	InputCols [][]scalar.ColumnID
+
+	// OpLimit
+	N int64
+
+	// OpSort
+	Keys []logical.SortKey
+
+	// Annotations filled by the optimizer.
+	Rows float64 // estimated output cardinality
+	Cost float64 // cumulative estimated cost
+}
+
+// OutputCols returns the ordered column layout the operator produces; the
+// execution engine maps ColumnIDs to row slots with it.
+func (e *Expr) OutputCols() []scalar.ColumnID {
+	switch e.Op {
+	case OpScan:
+		return e.Cols
+	case OpFilter, OpSort, OpLimit:
+		return e.Children[0].OutputCols()
+	case OpProject:
+		out := make([]scalar.ColumnID, len(e.Projs))
+		for i, p := range e.Projs {
+			out[i] = p.Out
+		}
+		return out
+	case OpHashJoin, OpNLJoin, OpMergeJoin:
+		switch e.JoinType {
+		case JoinSemi, JoinAnti:
+			return e.Children[0].OutputCols()
+		default:
+			l := e.Children[0].OutputCols()
+			r := e.Children[1].OutputCols()
+			out := make([]scalar.ColumnID, 0, len(l)+len(r))
+			out = append(out, l...)
+			return append(out, r...)
+		}
+	case OpHashAgg, OpSortAgg:
+		out := make([]scalar.ColumnID, 0, len(e.GroupCols)+len(e.Aggs))
+		out = append(out, e.GroupCols...)
+		for _, a := range e.Aggs {
+			out = append(out, a.Out)
+		}
+		return out
+	case OpConcat:
+		return e.OutCols
+	}
+	return nil
+}
+
+// Hash fingerprints the plan's structure and arguments (not its cost
+// annotations). Identical plans produce identical hashes; the correctness
+// runner uses this to skip executing Plan(q,¬R) when it equals Plan(q)
+// (paper footnote 1).
+func (e *Expr) Hash() string {
+	var sb strings.Builder
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		fmt.Fprintf(&sb, "%d/%d|", x.Op, x.JoinType)
+		switch x.Op {
+		case OpScan:
+			fmt.Fprintf(&sb, "%s%v", x.Table, x.Cols)
+		case OpFilter:
+			sb.WriteString(x.Filter.Hash())
+		case OpHashJoin, OpNLJoin, OpMergeJoin:
+			if x.On != nil {
+				sb.WriteString(x.On.Hash())
+			}
+			fmt.Fprintf(&sb, "%v%v", x.EquiLeft, x.EquiRight)
+		case OpProject:
+			for _, p := range x.Projs {
+				fmt.Fprintf(&sb, "%d=%s;", p.Out, p.E.Hash())
+			}
+		case OpHashAgg, OpSortAgg:
+			fmt.Fprintf(&sb, "%v|", x.GroupCols)
+			for _, a := range x.Aggs {
+				sb.WriteString(a.Hash())
+			}
+		case OpConcat:
+			fmt.Fprintf(&sb, "%v%v", x.OutCols, x.InputCols)
+		case OpLimit:
+			fmt.Fprintf(&sb, "%d", x.N)
+		case OpSort:
+			fmt.Fprintf(&sb, "%v", x.Keys)
+		}
+		sb.WriteString("(")
+		for _, c := range x.Children {
+			walk(c)
+		}
+		sb.WriteString(")")
+	}
+	walk(e)
+	return sb.String()
+}
+
+// String renders an indented plan with cost annotations, in the spirit of
+// EXPLAIN output.
+func (e *Expr) String() string {
+	var sb strings.Builder
+	var walk func(x *Expr, depth int)
+	walk = func(x *Expr, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(x.Op.String())
+		if x.Op == OpHashJoin || x.Op == OpNLJoin || x.Op == OpMergeJoin {
+			fmt.Fprintf(&sb, "(%s)", x.JoinType)
+		}
+		if x.Op == OpScan {
+			fmt.Fprintf(&sb, "(%s)", x.Table)
+		}
+		fmt.Fprintf(&sb, "  rows=%.0f cost=%.1f\n", x.Rows, x.Cost)
+		for _, c := range x.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(e, 0)
+	return sb.String()
+}
+
+// CountOps returns the number of operators in the plan.
+func (e *Expr) CountOps() int {
+	n := 1
+	for _, c := range e.Children {
+		n += c.CountOps()
+	}
+	return n
+}

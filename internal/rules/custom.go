@@ -1,0 +1,40 @@
+package rules
+
+import (
+	"qtrtest/internal/memo"
+	"qtrtest/internal/physical"
+)
+
+// NewExplorationRule builds a custom exploration rule. This is the
+// extensibility hook: downstream users (and the fault-injection examples)
+// can register additional rules alongside the built-in set.
+func NewExplorationRule(id ID, name string, pattern *Pattern,
+	apply func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr) ExplorationRule {
+	return &explRule{
+		info:  info{id: id, name: name, kind: KindExploration, pattern: pattern},
+		apply: apply,
+	}
+}
+
+// NewImplementationRule builds a custom implementation rule.
+func NewImplementationRule(id ID, name string, pattern *Pattern,
+	implement func(ctx *Context, e *memo.MExpr) []*physical.Expr) ImplementationRule {
+	return &implRule{
+		info: info{id: id, name: name, kind: KindImplementation, pattern: pattern},
+		impl: implement,
+	}
+}
+
+// RegistryWith returns a registry holding the default rule set plus the
+// given extra rules.
+func RegistryWith(extra ...Rule) *Registry {
+	var all []Rule
+	for _, r := range ExplorationRules() {
+		all = append(all, r)
+	}
+	for _, r := range ImplementationRules() {
+		all = append(all, r)
+	}
+	all = append(all, extra...)
+	return NewRegistry(all...)
+}

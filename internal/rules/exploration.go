@@ -1,0 +1,699 @@
+package rules
+
+import (
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/scalar"
+)
+
+// explRule packages one exploration rule: metadata plus its substitution
+// function.
+type explRule struct {
+	info
+	apply func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr
+}
+
+// Apply implements ExplorationRule.
+func (r *explRule) Apply(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+	return r.apply(ctx, b)
+}
+
+func expl(id ID, name string, pattern *Pattern, apply func(*Context, *memo.BoundExpr) []*memo.BoundExpr) ExplorationRule {
+	return &explRule{
+		info:  info{id: id, name: name, kind: KindExploration, pattern: pattern},
+		apply: apply,
+	}
+}
+
+// kidCols returns the output column set of a bound child.
+func kidCols(ctx *Context, b *memo.BoundExpr) scalar.ColSet {
+	return ctx.Memo.Cols(b)
+}
+
+// splitConjuncts partitions the conjuncts of pred into those whose columns
+// are all within allowed, and the rest.
+func splitConjuncts(pred scalar.Expr, allowed scalar.ColSet) (within, rest []scalar.Expr) {
+	for _, c := range scalar.Conjuncts(pred) {
+		if scalar.ReferencedCols(c).SubsetOf(allowed) {
+			within = append(within, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return within, rest
+}
+
+// groupHasRowKey reports whether some expression in the bound child's group
+// guarantees duplicate-free rows: a Get over a table with a primary key (Get
+// produces every table column, so the key is always in the output). This is
+// the functional-dependency precondition of the group-by/join reordering
+// rules — the paper's example of a condition beyond the pattern (§1).
+func groupHasRowKey(ctx *Context, b *memo.BoundExpr) bool {
+	if b.IsLeaf() {
+		for _, e := range ctx.Memo.Group(b.Group).Exprs {
+			if e.Op() == logical.OpGet {
+				t, err := ctx.MD().Catalog().Table(e.Node.Table)
+				if err == nil && len(t.PrimaryKey) > 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return b.Node.Op == logical.OpGet
+}
+
+// colsFormKey reports whether the given columns contain a key of the bound
+// child: the child's group must hold a Get over a table whose primary-key
+// columns all appear in cols.
+func colsFormKey(ctx *Context, b *memo.BoundExpr, cols scalar.ColSet) bool {
+	if !b.IsLeaf() {
+		return false
+	}
+	for _, e := range ctx.Memo.Group(b.Group).Exprs {
+		if e.Op() != logical.OpGet {
+			continue
+		}
+		t, err := ctx.MD().Catalog().Table(e.Node.Table)
+		if err != nil || len(t.PrimaryKey) == 0 {
+			continue
+		}
+		ok := true
+		for _, pk := range t.PrimaryKey {
+			idx := t.ColumnIndex(pk)
+			if idx < 0 || idx >= len(e.Node.Cols) || !cols.Contains(e.Node.Cols[idx]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// colRefProjs builds pass-through projection items for the given columns.
+func colRefProjs(cols []scalar.ColumnID) []logical.ProjItem {
+	items := make([]logical.ProjItem, len(cols))
+	for i, c := range cols {
+		items[i] = logical.ProjItem{Out: c, E: &scalar.ColRef{ID: c}}
+	}
+	return items
+}
+
+// selectOver wraps b in a Select if the conjunct list is non-empty.
+func selectOver(b *memo.BoundExpr, conjuncts []scalar.Expr) *memo.BoundExpr {
+	if len(conjuncts) == 0 {
+		return b
+	}
+	return memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: scalar.MakeAnd(conjuncts)}, b)
+}
+
+// ExplorationRules returns the 30 exploration (logical) rules in ID order.
+func ExplorationRules() []ExplorationRule {
+	return []ExplorationRule{
+		// --- join reordering ------------------------------------------------
+
+		expl(1, "JoinCommute", P(logical.OpJoin, Any(), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: b.Node.On}, b.Kids[1], b.Kids[0]),
+				}
+			}),
+
+		expl(2, "JoinAssocLeft", P(logical.OpJoin, P(logical.OpJoin, Any(), Any()), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// (a ⋈p1 b) ⋈p2 c  →  a ⋈outer (b ⋈inner c)
+				inner := b.Kids[0]
+				a, bb, c := inner.Kids[0], inner.Kids[1], b.Kids[1]
+				all := append(scalar.Conjuncts(inner.Node.On), scalar.Conjuncts(b.Node.On)...)
+				bc := kidCols(ctx, bb).Union(kidCols(ctx, c))
+				within, rest := splitConjuncts(scalar.MakeAnd(all), bc)
+				if len(within) == 0 && len(all) > 0 {
+					// Refuse to synthesize a cross product.
+					return nil
+				}
+				newInner := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.MakeAnd(within)}, bb, c)
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.MakeAnd(rest)}, a, newInner),
+				}
+			}),
+
+		expl(3, "JoinAssocRight", P(logical.OpJoin, Any(), P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// a ⋈p1 (b ⋈p2 c)  →  (a ⋈inner b) ⋈outer c
+				inner := b.Kids[1]
+				a, bb, c := b.Kids[0], inner.Kids[0], inner.Kids[1]
+				all := append(scalar.Conjuncts(b.Node.On), scalar.Conjuncts(inner.Node.On)...)
+				ab := kidCols(ctx, a).Union(kidCols(ctx, bb))
+				within, rest := splitConjuncts(scalar.MakeAnd(all), ab)
+				if len(within) == 0 && len(all) > 0 {
+					return nil
+				}
+				newInner := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.MakeAnd(within)}, a, bb)
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.MakeAnd(rest)}, newInner, c),
+				}
+			}),
+
+		// --- selection placement --------------------------------------------
+
+		expl(4, "SelectMerge", P(logical.OpSelect, P(logical.OpSelect, Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				inner := b.Kids[0]
+				merged := scalar.MakeAnd(append(scalar.Conjuncts(b.Node.Filter), scalar.Conjuncts(inner.Node.Filter)...))
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: merged}, inner.Kids[0]),
+				}
+			}),
+
+		expl(5, "SelectIntoJoin", P(logical.OpSelect, P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				join := b.Kids[0]
+				merged := scalar.MakeAnd(append(scalar.Conjuncts(join.Node.On), scalar.Conjuncts(b.Node.Filter)...))
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: merged}, join.Kids[0], join.Kids[1]),
+				}
+			}),
+
+		expl(6, "PushSelectBelowJoinLeft", P(logical.OpSelect, P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				join := b.Kids[0]
+				left := kidCols(ctx, join.Kids[0])
+				within, rest := splitConjuncts(b.Node.Filter, left)
+				if len(within) == 0 {
+					return nil
+				}
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: join.Node.On},
+					selectOver(join.Kids[0], within), join.Kids[1])
+				return []*memo.BoundExpr{selectOver(newJoin, rest)}
+			}),
+
+		expl(7, "PushSelectBelowJoinRight", P(logical.OpSelect, P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				join := b.Kids[0]
+				right := kidCols(ctx, join.Kids[1])
+				within, rest := splitConjuncts(b.Node.Filter, right)
+				if len(within) == 0 {
+					return nil
+				}
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: join.Node.On},
+					join.Kids[0], selectOver(join.Kids[1], within))
+				return []*memo.BoundExpr{selectOver(newJoin, rest)}
+			}),
+
+		expl(8, "PushSelectBelowLeftJoin", P(logical.OpSelect, P(logical.OpLeftJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// Only left-side conjuncts may move below a left outer join.
+				join := b.Kids[0]
+				left := kidCols(ctx, join.Kids[0])
+				within, rest := splitConjuncts(b.Node.Filter, left)
+				if len(within) == 0 {
+					return nil
+				}
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpLeftJoin, On: join.Node.On},
+					selectOver(join.Kids[0], within), join.Kids[1])
+				return []*memo.BoundExpr{selectOver(newJoin, rest)}
+			}),
+
+		expl(9, "SimplifyLeftJoin", P(logical.OpSelect, P(logical.OpLeftJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// A null-rejecting filter on the null-extended side turns the
+				// outer join into an inner join.
+				join := b.Kids[0]
+				right := kidCols(ctx, join.Kids[1])
+				if !logical.RejectsNullsOn(b.Node.Filter, right) {
+					return nil
+				}
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: join.Node.On},
+					join.Kids[0], join.Kids[1])
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: b.Node.Filter}, newJoin),
+				}
+			}),
+
+		expl(10, "PushSelectBelowProject", P(logical.OpSelect, P(logical.OpProject, Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				proj := b.Kids[0]
+				subst := make(map[scalar.ColumnID]scalar.Expr, len(proj.Node.Projs))
+				for _, it := range proj.Node.Projs {
+					subst[it.Out] = it.E
+				}
+				inlined := scalar.Substitute(b.Node.Filter, subst)
+				newSel := memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: inlined}, proj.Kids[0])
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: proj.Node.Projs}, newSel),
+				}
+			}),
+
+		expl(11, "ProjectMerge", P(logical.OpProject, P(logical.OpProject, Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				inner := b.Kids[0]
+				subst := make(map[scalar.ColumnID]scalar.Expr, len(inner.Node.Projs))
+				for _, it := range inner.Node.Projs {
+					subst[it.Out] = it.E
+				}
+				items := make([]logical.ProjItem, len(b.Node.Projs))
+				for i, it := range b.Node.Projs {
+					items[i] = logical.ProjItem{Out: it.Out, E: scalar.Substitute(it.E, subst)}
+				}
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: items}, inner.Kids[0]),
+				}
+			}),
+
+		expl(12, "PushSelectBelowGroupBy", P(logical.OpSelect, P(logical.OpGroupBy, Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				gb := b.Kids[0]
+				within, rest := splitConjuncts(b.Node.Filter, scalar.NewColSet(gb.Node.GroupCols...))
+				if len(within) == 0 {
+					return nil
+				}
+				newGB := memo.NewBound(&logical.Expr{
+					Op: logical.OpGroupBy, GroupCols: gb.Node.GroupCols, Aggs: gb.Node.Aggs,
+				}, selectOver(gb.Kids[0], within))
+				return []*memo.BoundExpr{selectOver(newGB, rest)}
+			}),
+
+		expl(13, "PushSelectBelowUnionAll", P(logical.OpSelect, P(logical.OpUnionAll, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				u := b.Kids[0]
+				kids := make([]*memo.BoundExpr, 2)
+				for i := 0; i < 2; i++ {
+					mapping := make(map[scalar.ColumnID]scalar.ColumnID, len(u.Node.OutCols))
+					for j, out := range u.Node.OutCols {
+						mapping[out] = u.Node.InputCols[i][j]
+					}
+					kids[i] = memo.NewBound(&logical.Expr{
+						Op: logical.OpSelect, Filter: scalar.Remap(b.Node.Filter, mapping),
+					}, u.Kids[i])
+				}
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{
+						Op: logical.OpUnionAll, OutCols: u.Node.OutCols, InputCols: u.Node.InputCols,
+					}, kids[0], kids[1]),
+				}
+			}),
+
+		// --- group-by / join reordering --------------------------------------
+
+		expl(14, "PushGroupByBelowJoin", P(logical.OpGroupBy, P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// GroupBy(a ⋈ b) → Project(GroupBy(a) ⋈ b). Preconditions
+				// (invariant grouping [3]): aggregates read only a; the join
+				// columns from a are grouping columns; and the join columns
+				// from b form a key of b, so no a-row is duplicated.
+				join := b.Kids[0]
+				a, bb := join.Kids[0], join.Kids[1]
+				colsA := kidCols(ctx, a)
+				gcSet := scalar.NewColSet(b.Node.GroupCols...)
+				if !logical.AggsReferenceOnly(b.Node.Aggs, colsA) {
+					return nil
+				}
+				onRefs := scalar.ReferencedCols(join.Node.On)
+				for id := range onRefs {
+					if colsA.Contains(id) && !gcSet.Contains(id) {
+						return nil
+					}
+				}
+				pairs, _ := logical.EquiJoinCols(join.Node.On, colsA, kidCols(ctx, bb))
+				rcols := make(scalar.ColSet, len(pairs))
+				for _, p := range pairs {
+					rcols.Add(p[1])
+				}
+				if !colsFormKey(ctx, bb, rcols) {
+					return nil
+				}
+				var gcA []scalar.ColumnID
+				for _, c := range b.Node.GroupCols {
+					if colsA.Contains(c) {
+						gcA = append(gcA, c)
+					} else if !kidCols(ctx, bb).Contains(c) {
+						return nil
+					}
+				}
+				newGB := memo.NewBound(&logical.Expr{
+					Op: logical.OpGroupBy, GroupCols: gcA, Aggs: b.Node.Aggs,
+				}, a)
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: join.Node.On}, newGB, bb)
+				outs := append([]scalar.ColumnID(nil), b.Node.GroupCols...)
+				for _, ag := range b.Node.Aggs {
+					outs = append(outs, ag.Out)
+				}
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: colRefProjs(outs)}, newJoin),
+				}
+			}),
+
+		expl(15, "PullGroupByAboveJoin", P(logical.OpJoin, P(logical.OpGroupBy, Any()), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return pullGroupByAboveJoin(ctx, b, logical.OpJoin)
+			}),
+
+		expl(16, "PullGroupByAboveLeftJoin", P(logical.OpLeftJoin, P(logical.OpGroupBy, Any()), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return pullGroupByAboveJoin(ctx, b, logical.OpLeftJoin)
+			}),
+
+		// --- join / outer-join association ------------------------------------
+
+		expl(17, "JoinLeftJoinAssoc", P(logical.OpJoin, Any(), P(logical.OpLeftJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// a ⋈p1 (b LOJ p2 c) → (a ⋈p1 b) LOJ p2 c, requires p1 over a,b
+				// only — the paper's §3 example of rule dependencies.
+				loj := b.Kids[1]
+				a, bb, c := b.Kids[0], loj.Kids[0], loj.Kids[1]
+				ab := kidCols(ctx, a).Union(kidCols(ctx, bb))
+				if !scalar.ReferencedCols(b.Node.On).SubsetOf(ab) {
+					return nil
+				}
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: b.Node.On}, a, bb)
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpLeftJoin, On: loj.Node.On}, newJoin, c),
+				}
+			}),
+
+		expl(18, "LeftJoinJoinAssoc", P(logical.OpLeftJoin, P(logical.OpJoin, Any(), Any()), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// (a ⋈p1 b) LOJ p2 c → a ⋈p1 (b LOJ p2 c), requires p2 over b,c.
+				join := b.Kids[0]
+				a, bb, c := join.Kids[0], join.Kids[1], b.Kids[1]
+				bc := kidCols(ctx, bb).Union(kidCols(ctx, c))
+				if !scalar.ReferencedCols(b.Node.On).SubsetOf(bc) {
+					return nil
+				}
+				newLOJ := memo.NewBound(&logical.Expr{Op: logical.OpLeftJoin, On: b.Node.On}, bb, c)
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: join.Node.On}, a, newLOJ),
+				}
+			}),
+
+		// --- semi / anti joins -------------------------------------------------
+
+		expl(19, "PushSelectBelowSemiJoin", P(logical.OpSelect, P(logical.OpSemiJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				sj := b.Kids[0]
+				newLeft := memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: b.Node.Filter}, sj.Kids[0])
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpSemiJoin, On: sj.Node.On}, newLeft, sj.Kids[1]),
+				}
+			}),
+
+		expl(20, "PushSelectBelowAntiJoin", P(logical.OpSelect, P(logical.OpAntiJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				aj := b.Kids[0]
+				newLeft := memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: b.Node.Filter}, aj.Kids[0])
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpAntiJoin, On: aj.Node.On}, newLeft, aj.Kids[1]),
+				}
+			}),
+
+		expl(21, "SemiJoinToJoin", P(logical.OpSemiJoin, Any(), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// a SEMI b → Project_a(a ⋈ Distinct_joincols(b)); requires a
+				// pure equi-join condition.
+				a, bb := b.Kids[0], b.Kids[1]
+				pairs, rest := logical.EquiJoinCols(b.Node.On, kidCols(ctx, a), kidCols(ctx, bb))
+				if len(pairs) == 0 || len(rest) > 0 {
+					return nil
+				}
+				rcols := make([]scalar.ColumnID, len(pairs))
+				for i, p := range pairs {
+					rcols[i] = p[1]
+				}
+				distinct := memo.NewBound(&logical.Expr{Op: logical.OpGroupBy, GroupCols: rcols}, bb)
+				join := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: b.Node.On}, a, distinct)
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{
+						Op: logical.OpProject, Projs: colRefProjs(kidCols(ctx, a).Sorted()),
+					}, join),
+				}
+			}),
+
+		expl(22, "AntiJoinToLeftJoin", P(logical.OpAntiJoin, Any(), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				// a ANTI b → Project_a(σ(r IS NULL)(a LOJ Distinct_joincols(b))).
+				a, bb := b.Kids[0], b.Kids[1]
+				pairs, rest := logical.EquiJoinCols(b.Node.On, kidCols(ctx, a), kidCols(ctx, bb))
+				if len(pairs) == 0 || len(rest) > 0 {
+					return nil
+				}
+				rcols := make([]scalar.ColumnID, len(pairs))
+				for i, p := range pairs {
+					rcols[i] = p[1]
+				}
+				distinct := memo.NewBound(&logical.Expr{Op: logical.OpGroupBy, GroupCols: rcols}, bb)
+				loj := memo.NewBound(&logical.Expr{Op: logical.OpLeftJoin, On: b.Node.On}, a, distinct)
+				sel := memo.NewBound(&logical.Expr{
+					Op: logical.OpSelect, Filter: &scalar.IsNull{Kid: &scalar.ColRef{ID: rcols[0]}},
+				}, loj)
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{
+						Op: logical.OpProject, Projs: colRefProjs(kidCols(ctx, a).Sorted()),
+					}, sel),
+				}
+			}),
+
+		// --- union ---------------------------------------------------------------
+
+		expl(23, "UnionAllCommute", P(logical.OpUnionAll, Any(), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{
+						Op:        logical.OpUnionAll,
+						OutCols:   b.Node.OutCols,
+						InputCols: [][]scalar.ColumnID{b.Node.InputCols[1], b.Node.InputCols[0]},
+					}, b.Kids[1], b.Kids[0]),
+				}
+			}),
+
+		expl(24, "PushProjectBelowUnionAll", P(logical.OpProject, P(logical.OpUnionAll, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				u := b.Kids[0]
+				md := ctx.MD()
+				kids := make([]*memo.BoundExpr, 2)
+				inCols := make([][]scalar.ColumnID, 2)
+				outCols := make([]scalar.ColumnID, len(b.Node.Projs))
+				for j, it := range b.Node.Projs {
+					outCols[j] = it.Out
+				}
+				for i := 0; i < 2; i++ {
+					mapping := make(map[scalar.ColumnID]scalar.ColumnID, len(u.Node.OutCols))
+					for j, out := range u.Node.OutCols {
+						mapping[out] = u.Node.InputCols[i][j]
+					}
+					items := make([]logical.ProjItem, len(b.Node.Projs))
+					inCols[i] = make([]scalar.ColumnID, len(b.Node.Projs))
+					for j, it := range b.Node.Projs {
+						fresh := md.AddColumn(logical.ColumnMeta{
+							Name: "u", Type: md.Column(it.Out).Type,
+						})
+						items[j] = logical.ProjItem{Out: fresh, E: scalar.Remap(it.E, mapping)}
+						inCols[i][j] = fresh
+					}
+					kids[i] = memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: items}, u.Kids[i])
+				}
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{
+						Op: logical.OpUnionAll, OutCols: outCols, InputCols: inCols,
+					}, kids[0], kids[1]),
+				}
+			}),
+
+		expl(25, "PushGroupByBelowUnionAll", P(logical.OpGroupBy, P(logical.OpUnionAll, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return pushGroupByBelowUnionAll(ctx, b)
+			}),
+
+		// --- column pruning ---------------------------------------------------
+
+		expl(26, "PruneJoinLeftCols", P(logical.OpProject, P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return pruneJoinSide(ctx, b, 0)
+			}),
+
+		expl(27, "PruneJoinRightCols", P(logical.OpProject, P(logical.OpJoin, Any(), Any())),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return pruneJoinSide(ctx, b, 1)
+			}),
+
+		expl(28, "ReduceSemiJoinRight", P(logical.OpSemiJoin, Any(), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return reduceExistentialRight(ctx, b, logical.OpSemiJoin)
+			}),
+
+		expl(29, "ReduceAntiJoinRight", P(logical.OpAntiJoin, Any(), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				return reduceExistentialRight(ctx, b, logical.OpAntiJoin)
+			}),
+
+		expl(30, "PullSelectAboveJoin", P(logical.OpJoin, P(logical.OpSelect, Any()), Any()),
+			func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+				sel := b.Kids[0]
+				newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: b.Node.On},
+					sel.Kids[0], b.Kids[1])
+				return []*memo.BoundExpr{
+					memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: sel.Node.Filter}, newJoin),
+				}
+			}),
+	}
+}
+
+// pullGroupByAboveJoin implements rules 15/16: (GroupBy(a)) ⋈ b →
+// GroupBy(a ⋈ b) grouping additionally by every column of b. Preconditions:
+// the join predicate must not reference aggregate outputs, and b must be
+// duplicate-free (see groupHasRowKey).
+func pullGroupByAboveJoin(ctx *Context, b *memo.BoundExpr, joinOp logical.Op) []*memo.BoundExpr {
+	gb := b.Kids[0]
+	a, bb := gb.Kids[0], b.Kids[1]
+	aggOuts := make(scalar.ColSet, len(gb.Node.Aggs))
+	for _, ag := range gb.Node.Aggs {
+		aggOuts.Add(ag.Out)
+	}
+	if scalar.ReferencedCols(b.Node.On).Intersects(aggOuts) {
+		return nil
+	}
+	if !groupHasRowKey(ctx, bb) {
+		return nil
+	}
+	gc := append([]scalar.ColumnID(nil), gb.Node.GroupCols...)
+	gc = append(gc, kidCols(ctx, bb).Sorted()...)
+	newJoin := memo.NewBound(&logical.Expr{Op: joinOp, On: b.Node.On}, a, bb)
+	return []*memo.BoundExpr{
+		memo.NewBound(&logical.Expr{
+			Op: logical.OpGroupBy, GroupCols: gc, Aggs: gb.Node.Aggs,
+		}, newJoin),
+	}
+}
+
+// pushGroupByBelowUnionAll implements rule 25 (local/global aggregation):
+// GroupBy(a ∪ b) → GroupBy_global(GroupBy_local(a) ∪ GroupBy_local(b)).
+// COUNT becomes SUM of local counts; AVG is not decomposable and blocks the
+// rule.
+func pushGroupByBelowUnionAll(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
+	u := b.Kids[0]
+	md := ctx.MD()
+	for _, ag := range b.Node.Aggs {
+		switch ag.Op {
+		case scalar.AggSum, scalar.AggMin, scalar.AggMax, scalar.AggCount, scalar.AggCountStar:
+		default:
+			return nil
+		}
+	}
+	// The new union outputs the grouping columns under their original ids
+	// plus one fresh column per aggregate.
+	newOut := append([]scalar.ColumnID(nil), b.Node.GroupCols...)
+	aggUnionCols := make([]scalar.ColumnID, len(b.Node.Aggs))
+	for k, ag := range b.Node.Aggs {
+		typ := md.Column(ag.Out).Type
+		if ag.Op == scalar.AggCount || ag.Op == scalar.AggCountStar {
+			typ = datum.TypeInt
+		}
+		aggUnionCols[k] = md.AddColumn(logical.ColumnMeta{Name: "la", Type: typ})
+		newOut = append(newOut, aggUnionCols[k])
+	}
+	outIdx := make(map[scalar.ColumnID]int, len(u.Node.OutCols))
+	for j, out := range u.Node.OutCols {
+		outIdx[out] = j
+	}
+	kids := make([]*memo.BoundExpr, 2)
+	inCols := make([][]scalar.ColumnID, 2)
+	for i := 0; i < 2; i++ {
+		mapping := make(map[scalar.ColumnID]scalar.ColumnID, len(u.Node.OutCols))
+		for j, out := range u.Node.OutCols {
+			mapping[out] = u.Node.InputCols[i][j]
+		}
+		localGC := make([]scalar.ColumnID, len(b.Node.GroupCols))
+		for j, g := range b.Node.GroupCols {
+			idx, ok := outIdx[g]
+			if !ok {
+				return nil
+			}
+			localGC[j] = u.Node.InputCols[i][idx]
+		}
+		localAggs := make([]scalar.Agg, len(b.Node.Aggs))
+		localOuts := make([]scalar.ColumnID, len(b.Node.Aggs))
+		for k, ag := range b.Node.Aggs {
+			typ := md.Column(ag.Out).Type
+			if ag.Op == scalar.AggCount || ag.Op == scalar.AggCountStar {
+				typ = datum.TypeInt
+			}
+			localOuts[k] = md.AddColumn(logical.ColumnMeta{Name: "la", Type: typ})
+			var arg scalar.Expr
+			if ag.Arg != nil {
+				arg = scalar.Remap(ag.Arg, mapping)
+			}
+			localAggs[k] = scalar.Agg{Op: ag.Op, Arg: arg, Out: localOuts[k]}
+		}
+		kids[i] = memo.NewBound(&logical.Expr{
+			Op: logical.OpGroupBy, GroupCols: localGC, Aggs: localAggs,
+		}, u.Kids[i])
+		inCols[i] = append(append([]scalar.ColumnID(nil), localGC...), localOuts...)
+	}
+	newUnion := memo.NewBound(&logical.Expr{
+		Op: logical.OpUnionAll, OutCols: newOut, InputCols: inCols,
+	}, kids[0], kids[1])
+	globalAggs := make([]scalar.Agg, len(b.Node.Aggs))
+	for k, ag := range b.Node.Aggs {
+		op := ag.Op
+		if op == scalar.AggCount || op == scalar.AggCountStar {
+			op = scalar.AggSum
+		}
+		globalAggs[k] = scalar.Agg{Op: op, Arg: &scalar.ColRef{ID: aggUnionCols[k]}, Out: ag.Out}
+	}
+	return []*memo.BoundExpr{
+		memo.NewBound(&logical.Expr{
+			Op: logical.OpGroupBy, GroupCols: b.Node.GroupCols, Aggs: globalAggs,
+		}, newUnion),
+	}
+}
+
+// pruneJoinSide implements rules 26/27: Project(a ⋈ b) → Project(Project(a') ⋈ b)
+// where a' keeps only the columns the projection or join predicate needs.
+func pruneJoinSide(ctx *Context, b *memo.BoundExpr, side int) []*memo.BoundExpr {
+	join := b.Kids[0]
+	needed := make(scalar.ColSet)
+	for _, it := range b.Node.Projs {
+		it.E.Cols(needed)
+	}
+	join.Node.On.Cols(needed)
+	sideCols := kidCols(ctx, join.Kids[side])
+	var keep []scalar.ColumnID
+	for _, c := range sideCols.Sorted() {
+		if needed.Contains(c) {
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == 0 || len(keep) == len(sideCols) {
+		return nil
+	}
+	pruned := memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: colRefProjs(keep)}, join.Kids[side])
+	kids := []*memo.BoundExpr{join.Kids[0], join.Kids[1]}
+	kids[side] = pruned
+	newJoin := memo.NewBound(&logical.Expr{Op: logical.OpJoin, On: join.Node.On}, kids[0], kids[1])
+	return []*memo.BoundExpr{
+		memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: b.Node.Projs}, newJoin),
+	}
+}
+
+// reduceExistentialRight implements rules 28/29: the right input of a semi or
+// anti join only needs the columns its predicate references.
+func reduceExistentialRight(ctx *Context, b *memo.BoundExpr, op logical.Op) []*memo.BoundExpr {
+	right := kidCols(ctx, b.Kids[1])
+	needed := scalar.ReferencedCols(b.Node.On)
+	var keep []scalar.ColumnID
+	for _, c := range right.Sorted() {
+		if needed.Contains(c) {
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == 0 || len(keep) == len(right) {
+		return nil
+	}
+	pruned := memo.NewBound(&logical.Expr{Op: logical.OpProject, Projs: colRefProjs(keep)}, b.Kids[1])
+	return []*memo.BoundExpr{
+		memo.NewBound(&logical.Expr{Op: op, On: b.Node.On}, b.Kids[0], pruned),
+	}
+}

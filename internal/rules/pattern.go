@@ -1,0 +1,175 @@
+package rules
+
+import (
+	"strings"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+)
+
+// Pattern describes a logical-tree shape: concrete operators that must be
+// present plus generic placeholders (logical.OpAny — the circles in the
+// paper's Figure 3) that match any operator subtree.
+type Pattern struct {
+	Op       logical.Op
+	Children []*Pattern
+}
+
+// Any returns a generic-operator placeholder.
+func Any() *Pattern { return &Pattern{Op: logical.OpAny} }
+
+// P builds a pattern node.
+func P(op logical.Op, children ...*Pattern) *Pattern {
+	return &Pattern{Op: op, Children: children}
+}
+
+// IsGeneric reports whether the node is a generic placeholder.
+func (p *Pattern) IsGeneric() bool { return p.Op == logical.OpAny }
+
+// CountOps returns the number of nodes in the pattern.
+func (p *Pattern) CountOps() int {
+	n := 1
+	for _, c := range p.Children {
+		n += c.CountOps()
+	}
+	return n
+}
+
+// Clone deep-copies the pattern.
+func (p *Pattern) Clone() *Pattern {
+	out := &Pattern{Op: p.Op, Children: make([]*Pattern, len(p.Children))}
+	for i, c := range p.Children {
+		out.Children[i] = c.Clone()
+	}
+	return out
+}
+
+// String renders the pattern in compact functional form, e.g.
+// "Join(GroupBy(*), *)".
+func (p *Pattern) String() string {
+	if p.IsGeneric() && len(p.Children) == 0 {
+		return "*"
+	}
+	var sb strings.Builder
+	sb.WriteString(p.Op.String())
+	if len(p.Children) > 0 {
+		sb.WriteString("(")
+		for i, c := range p.Children {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.String())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// Generics returns pointers to the generic placeholder slots of the pattern,
+// in pre-order. Pattern composition for rule pairs (§3.2) substitutes one
+// pattern into these slots.
+func (p *Pattern) Generics() []*Pattern {
+	var out []*Pattern
+	var walk func(x *Pattern)
+	walk = func(x *Pattern) {
+		if x.IsGeneric() {
+			out = append(out, x)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// MatchesTree reports whether the logical tree contains, at its root, the
+// pattern shape. Generic placeholders match any subtree.
+func (p *Pattern) MatchesTree(e *logical.Expr) bool {
+	if p.IsGeneric() {
+		return true
+	}
+	if e.Op != p.Op || len(p.Children) > len(e.Children) {
+		return false
+	}
+	for i, pc := range p.Children {
+		if !pc.MatchesTree(e.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainedIn reports whether any node of the tree matches the pattern.
+func (p *Pattern) ContainedIn(e *logical.Expr) bool {
+	found := false
+	e.Walk(func(x *logical.Expr) {
+		if !found && p.MatchesTree(x) {
+			found = true
+		}
+	})
+	return found
+}
+
+// maxBindings caps the number of bindings enumerated per (rule, expression)
+// pair; beyond this the extra bindings add no coverage and only cost time.
+const maxBindings = 16
+
+// Bind enumerates bindings of the pattern rooted at memo expression e. A
+// binding is a BoundExpr tree mirroring the pattern: concrete pattern nodes
+// bind to specific memo expressions and generic placeholders become group
+// reference leaves.
+func Bind(m *memo.Memo, e *memo.MExpr, p *Pattern) []*memo.BoundExpr {
+	return bindExpr(m, e, p, maxBindings)
+}
+
+func bindExpr(m *memo.Memo, e *memo.MExpr, p *Pattern, limit int) []*memo.BoundExpr {
+	if limit <= 0 {
+		return nil
+	}
+	if p.IsGeneric() {
+		return []*memo.BoundExpr{memo.GroupRef(e.Group)}
+	}
+	if e.Op() != p.Op || len(p.Children) != len(e.Kids) {
+		return nil
+	}
+	// Enumerate bindings per child, then take the cartesian product.
+	perChild := make([][]*memo.BoundExpr, len(p.Children))
+	for i, pc := range p.Children {
+		perChild[i] = bindGroup(m, e.Kids[i], pc, limit)
+		if len(perChild[i]) == 0 {
+			return nil
+		}
+	}
+	results := []*memo.BoundExpr{{Node: e.Node, Group: e.Group, Src: e}}
+	for _, kidOptions := range perChild {
+		var next []*memo.BoundExpr
+		for _, partial := range results {
+			for _, opt := range kidOptions {
+				if len(next) >= limit {
+					break
+				}
+				nb := &memo.BoundExpr{Node: partial.Node, Group: partial.Group, Src: partial.Src}
+				nb.Kids = append(append([]*memo.BoundExpr(nil), partial.Kids...), opt)
+				next = append(next, nb)
+			}
+		}
+		results = next
+	}
+	return results
+}
+
+func bindGroup(m *memo.Memo, g memo.GroupID, p *Pattern, limit int) []*memo.BoundExpr {
+	if p.IsGeneric() {
+		return []*memo.BoundExpr{memo.GroupRef(g)}
+	}
+	var out []*memo.BoundExpr
+	for _, e := range m.Group(g).Exprs {
+		if len(out) >= limit {
+			break
+		}
+		out = append(out, bindExpr(m, e, p, limit-len(out))...)
+	}
+	return out
+}

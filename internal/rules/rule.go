@@ -1,0 +1,201 @@
+// Package rules implements the optimizer's transformation rules: exploration
+// (logical→logical) and implementation (logical→physical) rules, their
+// patterns, and the registry the optimizer and the testing framework share.
+//
+// Per the paper (§3.1), every rule is a triple (Name, Pattern, Substitution):
+// the pattern is a necessary condition for the rule to be exercised, and the
+// registry exports patterns through an API (including XML) so that the query
+// generation module can leverage them.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/physical"
+)
+
+// ID identifies a rule. IDs are stable across runs: they index experiment
+// results and disabled-rule sets.
+type ID int
+
+// Kind distinguishes exploration from implementation rules (§2.1).
+type Kind int
+
+// Rule kinds.
+const (
+	KindExploration Kind = iota
+	KindImplementation
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == KindExploration {
+		return "exploration"
+	}
+	return "implementation"
+}
+
+// Context gives rules access to the memo (for group properties) and the
+// query metadata (to allocate fresh columns for synthesized operators).
+type Context struct {
+	Memo *memo.Memo
+}
+
+// MD returns the query metadata.
+func (c *Context) MD() *logical.Metadata { return c.Memo.MD }
+
+// Rule is the common surface of all transformation rules.
+type Rule interface {
+	ID() ID
+	Name() string
+	Kind() Kind
+	// Pattern returns the logical-tree shape that must be present for the
+	// rule to be exercised (a necessary, not sufficient, condition).
+	Pattern() *Pattern
+}
+
+// ExplorationRule transforms logical expressions into equivalent logical
+// expressions.
+type ExplorationRule interface {
+	Rule
+	// Apply is the substitution function: given a bound match of Pattern(),
+	// it returns zero or more equivalent substitute trees. Returning zero
+	// substitutes means a precondition beyond the pattern failed; the rule
+	// then counts as not exercised.
+	Apply(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr
+}
+
+// ImplementationRule transforms a logical expression into a physical
+// operator choice.
+type ImplementationRule interface {
+	Rule
+	// Implement returns physical payload nodes (Children unset; they
+	// correspond 1:1 to e.Kids) or nil if a precondition fails.
+	Implement(ctx *Context, e *memo.MExpr) []*physical.Expr
+}
+
+// info supplies the boilerplate part of a rule.
+type info struct {
+	id      ID
+	name    string
+	kind    Kind
+	pattern *Pattern
+}
+
+func (i info) ID() ID            { return i.id }
+func (i info) Name() string      { return i.name }
+func (i info) Kind() Kind        { return i.kind }
+func (i info) Pattern() *Pattern { return i.pattern }
+func (i info) String() string    { return fmt.Sprintf("%s(#%d)", i.name, i.id) }
+
+// Set is a set of rule IDs, used for disabled sets and RuleSet(q).
+type Set map[ID]bool
+
+// NewSet builds a set from ids.
+func NewSet(ids ...ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Contains reports membership; a nil Set contains nothing.
+func (s Set) Contains(id ID) bool { return s != nil && s[id] }
+
+// Add inserts id.
+func (s Set) Add(id ID) { s[id] = true }
+
+// Sorted returns the ids in ascending order.
+func (s Set) Sorted() []ID {
+	out := make([]ID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns a new set combining s and o.
+func (s Set) Union(o Set) Set {
+	out := make(Set, len(s)+len(o))
+	for id := range s {
+		out[id] = true
+	}
+	for id := range o {
+		out[id] = true
+	}
+	return out
+}
+
+// Registry holds the rule set R = {r1..rn} of the optimizer (§2.2).
+type Registry struct {
+	all    []Rule
+	byID   map[ID]Rule
+	byName map[string]Rule
+}
+
+// NewRegistry returns a registry with the given rules; it panics on
+// duplicate IDs or names, which indicates a programming error in rule
+// definitions.
+func NewRegistry(rs ...Rule) *Registry {
+	reg := &Registry{byID: make(map[ID]Rule), byName: make(map[string]Rule)}
+	for _, r := range rs {
+		if _, dup := reg.byID[r.ID()]; dup {
+			panic(fmt.Sprintf("rules: duplicate rule id %d", r.ID()))
+		}
+		if _, dup := reg.byName[r.Name()]; dup {
+			panic(fmt.Sprintf("rules: duplicate rule name %q", r.Name()))
+		}
+		reg.all = append(reg.all, r)
+		reg.byID[r.ID()] = r
+		reg.byName[r.Name()] = r
+	}
+	return reg
+}
+
+// All returns every rule in definition order.
+func (r *Registry) All() []Rule { return r.all }
+
+// Exploration returns the exploration rules in definition order.
+func (r *Registry) Exploration() []ExplorationRule {
+	var out []ExplorationRule
+	for _, rule := range r.all {
+		if er, ok := rule.(ExplorationRule); ok {
+			out = append(out, er)
+		}
+	}
+	return out
+}
+
+// Implementation returns the implementation rules in definition order.
+func (r *Registry) Implementation() []ImplementationRule {
+	var out []ImplementationRule
+	for _, rule := range r.all {
+		if ir, ok := rule.(ImplementationRule); ok {
+			out = append(out, ir)
+		}
+	}
+	return out
+}
+
+// ByID returns the rule with the given id, or an error.
+func (r *Registry) ByID(id ID) (Rule, error) {
+	rule, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("rules: no rule with id %d", id)
+	}
+	return rule, nil
+}
+
+// ByName returns the rule with the given name, or an error.
+func (r *Registry) ByName(name string) (Rule, error) {
+	rule, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("rules: no rule named %q", name)
+	}
+	return rule, nil
+}

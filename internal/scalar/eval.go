@@ -1,0 +1,182 @@
+package scalar
+
+import (
+	"fmt"
+
+	"qtrtest/internal/datum"
+)
+
+// Env maps ColumnIDs to slots in the row currently being evaluated.
+type Env map[ColumnID]int
+
+// Eval evaluates the expression against row under env. Boolean-valued
+// expressions yield a BOOL datum or NULL (three-valued logic).
+func Eval(e Expr, row datum.Row, env Env) (datum.Datum, error) {
+	switch t := e.(type) {
+	case *ColRef:
+		slot, ok := env[t.ID]
+		if !ok {
+			return datum.Null, fmt.Errorf("scalar: column c%d not in scope", t.ID)
+		}
+		return row[slot], nil
+	case *Const:
+		return t.D, nil
+	case *Cmp:
+		l, err := Eval(t.L, row, env)
+		if err != nil {
+			return datum.Null, err
+		}
+		r, err := Eval(t.R, row, env)
+		if err != nil {
+			return datum.Null, err
+		}
+		return triToDatum(evalCmp(t.Op, l, r)), nil
+	case *Arith:
+		l, err := Eval(t.L, row, env)
+		if err != nil {
+			return datum.Null, err
+		}
+		r, err := Eval(t.R, row, env)
+		if err != nil {
+			return datum.Null, err
+		}
+		return evalArith(t.Op, l, r)
+	case *And:
+		res := datum.True
+		for _, k := range t.Kids {
+			d, err := Eval(k, row, env)
+			if err != nil {
+				return datum.Null, err
+			}
+			res = res.And(datumToTri(d))
+			if res == datum.False {
+				break
+			}
+		}
+		return triToDatum(res), nil
+	case *Or:
+		res := datum.False
+		for _, k := range t.Kids {
+			d, err := Eval(k, row, env)
+			if err != nil {
+				return datum.Null, err
+			}
+			res = res.Or(datumToTri(d))
+			if res == datum.True {
+				break
+			}
+		}
+		return triToDatum(res), nil
+	case *Not:
+		d, err := Eval(t.Kid, row, env)
+		if err != nil {
+			return datum.Null, err
+		}
+		return triToDatum(datumToTri(d).Not()), nil
+	case *IsNull:
+		d, err := Eval(t.Kid, row, env)
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewBool(d.IsNull()), nil
+	default:
+		return datum.Null, fmt.Errorf("scalar: cannot evaluate %T", e)
+	}
+}
+
+// EvalBool evaluates a predicate; NULL counts as false (WHERE semantics).
+func EvalBool(e Expr, row datum.Row, env Env) (bool, error) {
+	d, err := Eval(e, row, env)
+	if err != nil {
+		return false, err
+	}
+	return !d.IsNull() && d.K == datum.KindBool && d.B, nil
+}
+
+func datumToTri(d datum.Datum) datum.Tri {
+	if d.IsNull() {
+		return datum.Unknown
+	}
+	if d.K == datum.KindBool {
+		return datum.TriFromBool(d.B)
+	}
+	// Non-boolean treated as true if non-zero; predicates produced by this
+	// engine are always boolean, so this is a defensive default.
+	return datum.True
+}
+
+func triToDatum(t datum.Tri) datum.Datum {
+	switch t {
+	case datum.True:
+		return datum.NewBool(true)
+	case datum.False:
+		return datum.NewBool(false)
+	default:
+		return datum.Null
+	}
+}
+
+func evalCmp(op CmpOp, l, r datum.Datum) datum.Tri {
+	if l.IsNull() || r.IsNull() {
+		return datum.Unknown
+	}
+	c, ok := datum.Compare(l, r)
+	if !ok {
+		return datum.Unknown
+	}
+	switch op {
+	case CmpEQ:
+		return datum.TriFromBool(c == 0)
+	case CmpNE:
+		return datum.TriFromBool(c != 0)
+	case CmpLT:
+		return datum.TriFromBool(c < 0)
+	case CmpLE:
+		return datum.TriFromBool(c <= 0)
+	case CmpGT:
+		return datum.TriFromBool(c > 0)
+	case CmpGE:
+		return datum.TriFromBool(c >= 0)
+	}
+	return datum.Unknown
+}
+
+func evalArith(op ArithOp, l, r datum.Datum) (datum.Datum, error) {
+	if l.IsNull() || r.IsNull() {
+		return datum.Null, nil
+	}
+	if l.K == datum.KindInt && r.K == datum.KindInt {
+		switch op {
+		case ArithAdd:
+			return datum.NewInt(l.I + r.I), nil
+		case ArithSub:
+			return datum.NewInt(l.I - r.I), nil
+		case ArithMul:
+			return datum.NewInt(l.I * r.I), nil
+		}
+	}
+	lf, lok := asFloat(l)
+	rf, rok := asFloat(r)
+	if !lok || !rok {
+		return datum.Null, fmt.Errorf("scalar: arithmetic on non-numeric %v %s %v", l, op, r)
+	}
+	switch op {
+	case ArithAdd:
+		return datum.NewFloat(lf + rf), nil
+	case ArithSub:
+		return datum.NewFloat(lf - rf), nil
+	case ArithMul:
+		return datum.NewFloat(lf * rf), nil
+	}
+	return datum.Null, fmt.Errorf("scalar: unknown arithmetic op %d", op)
+}
+
+func asFloat(d datum.Datum) (float64, bool) {
+	switch d.K {
+	case datum.KindInt, datum.KindDate:
+		return float64(d.I), true
+	case datum.KindFloat:
+		return d.F, true
+	}
+	return 0, false
+}

@@ -1,0 +1,48 @@
+package scalar
+
+// Substitute returns a copy of e with every ColRef whose id appears in subst
+// replaced by the mapped expression. Unmapped ColRefs are preserved. The
+// input is not modified.
+func Substitute(e Expr, subst map[ColumnID]Expr) Expr {
+	switch t := e.(type) {
+	case *ColRef:
+		if repl, ok := subst[t.ID]; ok {
+			return repl
+		}
+		return t
+	case *Const:
+		return t
+	case *Cmp:
+		return &Cmp{Op: t.Op, L: Substitute(t.L, subst), R: Substitute(t.R, subst)}
+	case *Arith:
+		return &Arith{Op: t.Op, L: Substitute(t.L, subst), R: Substitute(t.R, subst)}
+	case *And:
+		kids := make([]Expr, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = Substitute(k, subst)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Expr, len(t.Kids))
+		for i, k := range t.Kids {
+			kids[i] = Substitute(k, subst)
+		}
+		return &Or{Kids: kids}
+	case *Not:
+		return &Not{Kid: Substitute(t.Kid, subst)}
+	case *IsNull:
+		return &IsNull{Kid: Substitute(t.Kid, subst)}
+	default:
+		return e
+	}
+}
+
+// Remap returns a copy of e with column ids rewritten through mapping;
+// ids absent from the mapping are preserved.
+func Remap(e Expr, mapping map[ColumnID]ColumnID) Expr {
+	subst := make(map[ColumnID]Expr, len(mapping))
+	for from, to := range mapping {
+		subst[from] = &ColRef{ID: to}
+	}
+	return Substitute(e, subst)
+}

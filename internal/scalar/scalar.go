@@ -1,0 +1,413 @@
+// Package scalar implements scalar expression trees: column references,
+// constants, comparisons, arithmetic, boolean connectives and aggregate
+// functions. Columns are referred to by optimizer-wide ColumnIDs, so
+// expressions are position-independent and survive tree rewrites (a rule can
+// move a predicate without rebinding it).
+package scalar
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qtrtest/internal/datum"
+)
+
+// ColumnID uniquely identifies a column instance within one query. Two scans
+// of the same table produce disjoint ColumnIDs, so self-joins are unambiguous.
+type ColumnID int
+
+// ColSet is a set of ColumnIDs.
+type ColSet map[ColumnID]bool
+
+// NewColSet builds a set from ids.
+func NewColSet(ids ...ColumnID) ColSet {
+	s := make(ColSet, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Add inserts id.
+func (s ColSet) Add(id ColumnID) { s[id] = true }
+
+// Contains reports membership.
+func (s ColSet) Contains(id ColumnID) bool { return s[id] }
+
+// SubsetOf reports whether every element of s is in o.
+func (s ColSet) SubsetOf(o ColSet) bool {
+	for id := range s {
+		if !o[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set with all elements of s and o.
+func (s ColSet) Union(o ColSet) ColSet {
+	out := make(ColSet, len(s)+len(o))
+	for id := range s {
+		out[id] = true
+	}
+	for id := range o {
+		out[id] = true
+	}
+	return out
+}
+
+// Intersects reports whether the sets share an element.
+func (s ColSet) Intersects(o ColSet) bool {
+	for id := range s {
+		if o[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the ids in ascending order.
+func (s ColSet) Sorted() []ColumnID {
+	out := make([]ColumnID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Commute returns the operator with operands swapped (a < b ⇔ b > a).
+func (o CmpOp) Commute() CmpOp {
+	switch o {
+	case CmpLT:
+		return CmpGT
+	case CmpLE:
+		return CmpGE
+	case CmpGT:
+		return CmpLT
+	case CmpGE:
+		return CmpLE
+	default:
+		return o
+	}
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	ArithAdd ArithOp = iota
+	ArithSub
+	ArithMul
+)
+
+// String returns the SQL spelling of the operator.
+func (o ArithOp) String() string { return [...]string{"+", "-", "*"}[o] }
+
+// Expr is a scalar expression node.
+type Expr interface {
+	// Cols adds every column referenced by the expression to out.
+	Cols(out ColSet)
+	// SQL renders the expression, mapping ColumnIDs to SQL column names
+	// through the supplied function.
+	SQL(name func(ColumnID) string) string
+	// Hash returns a structural fingerprint used to deduplicate memo
+	// expressions.
+	Hash() string
+}
+
+// ColRef references a column by id.
+type ColRef struct{ ID ColumnID }
+
+// Const is a literal.
+type Const struct{ D datum.Datum }
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Arith is binary arithmetic.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// And is the conjunction of its children (n-ary; empty means TRUE).
+type And struct{ Kids []Expr }
+
+// Or is the disjunction of its children (n-ary; must be non-empty).
+type Or struct{ Kids []Expr }
+
+// Not negates its child.
+type Not struct{ Kid Expr }
+
+// IsNull tests its child for SQL NULL.
+type IsNull struct{ Kid Expr }
+
+// Cols implements Expr.
+func (e *ColRef) Cols(out ColSet) { out.Add(e.ID) }
+
+// Cols implements Expr.
+func (e *Const) Cols(out ColSet) {}
+
+// Cols implements Expr.
+func (e *Cmp) Cols(out ColSet) { e.L.Cols(out); e.R.Cols(out) }
+
+// Cols implements Expr.
+func (e *Arith) Cols(out ColSet) { e.L.Cols(out); e.R.Cols(out) }
+
+// Cols implements Expr.
+func (e *And) Cols(out ColSet) {
+	for _, k := range e.Kids {
+		k.Cols(out)
+	}
+}
+
+// Cols implements Expr.
+func (e *Or) Cols(out ColSet) {
+	for _, k := range e.Kids {
+		k.Cols(out)
+	}
+}
+
+// Cols implements Expr.
+func (e *Not) Cols(out ColSet) { e.Kid.Cols(out) }
+
+// Cols implements Expr.
+func (e *IsNull) Cols(out ColSet) { e.Kid.Cols(out) }
+
+// SQL implements Expr.
+func (e *ColRef) SQL(name func(ColumnID) string) string { return name(e.ID) }
+
+// SQL implements Expr.
+func (e *Const) SQL(func(ColumnID) string) string { return e.D.String() }
+
+// SQL implements Expr.
+func (e *Cmp) SQL(name func(ColumnID) string) string {
+	return fmt.Sprintf("(%s %s %s)", e.L.SQL(name), e.Op, e.R.SQL(name))
+}
+
+// SQL implements Expr.
+func (e *Arith) SQL(name func(ColumnID) string) string {
+	return fmt.Sprintf("(%s %s %s)", e.L.SQL(name), e.Op, e.R.SQL(name))
+}
+
+// SQL implements Expr.
+func (e *And) SQL(name func(ColumnID) string) string {
+	if len(e.Kids) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(e.Kids))
+	for i, k := range e.Kids {
+		parts[i] = k.SQL(name)
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// SQL implements Expr.
+func (e *Or) SQL(name func(ColumnID) string) string {
+	parts := make([]string, len(e.Kids))
+	for i, k := range e.Kids {
+		parts[i] = k.SQL(name)
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// SQL implements Expr.
+func (e *Not) SQL(name func(ColumnID) string) string {
+	return "(NOT " + e.Kid.SQL(name) + ")"
+}
+
+// SQL implements Expr.
+func (e *IsNull) SQL(name func(ColumnID) string) string {
+	return "(" + e.Kid.SQL(name) + " IS NULL)"
+}
+
+// HashInto appends a structural fingerprint of e to sb; Hash on any Expr is
+// equivalent to HashInto into a fresh builder. The single-builder form keeps
+// the optimizer's interning hot path allocation-free.
+func HashInto(e Expr, sb *strings.Builder) {
+	switch t := e.(type) {
+	case *ColRef:
+		sb.WriteByte('c')
+		writeInt(sb, int64(t.ID))
+	case *Const:
+		sb.WriteByte('k')
+		sb.WriteString(t.D.String())
+	case *Cmp:
+		sb.WriteByte('(')
+		HashInto(t.L, sb)
+		sb.WriteString(t.Op.String())
+		HashInto(t.R, sb)
+		sb.WriteByte(')')
+	case *Arith:
+		sb.WriteByte('(')
+		HashInto(t.L, sb)
+		sb.WriteString(t.Op.String())
+		HashInto(t.R, sb)
+		sb.WriteByte(')')
+	case *And:
+		sb.WriteString("and(")
+		for i, k := range t.Kids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			HashInto(k, sb)
+		}
+		sb.WriteByte(')')
+	case *Or:
+		sb.WriteString("or(")
+		for i, k := range t.Kids {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			HashInto(k, sb)
+		}
+		sb.WriteByte(')')
+	case *Not:
+		sb.WriteString("not(")
+		HashInto(t.Kid, sb)
+		sb.WriteByte(')')
+	case *IsNull:
+		sb.WriteString("isnull(")
+		HashInto(t.Kid, sb)
+		sb.WriteByte(')')
+	default:
+		sb.WriteByte('?')
+	}
+}
+
+func writeInt(sb *strings.Builder, v int64) {
+	var buf [20]byte
+	sb.Write(strconv.AppendInt(buf[:0], v, 10))
+}
+
+func hashOne(e Expr) string {
+	var sb strings.Builder
+	HashInto(e, &sb)
+	return sb.String()
+}
+
+// Hash implements Expr.
+func (e *ColRef) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *Const) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *Cmp) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *Arith) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *And) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *Or) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *Not) Hash() string { return hashOne(e) }
+
+// Hash implements Expr.
+func (e *IsNull) Hash() string { return hashOne(e) }
+
+// TrueExpr returns an always-true predicate.
+func TrueExpr() Expr { return &And{} }
+
+// Conjuncts flattens a predicate into its top-level AND factors.
+func Conjuncts(e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		var out []Expr
+		for _, k := range a.Kids {
+			out = append(out, Conjuncts(k)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// MakeAnd rebuilds a predicate from conjuncts; one conjunct is returned
+// unwrapped, zero conjuncts become TRUE.
+func MakeAnd(conjuncts []Expr) Expr {
+	switch len(conjuncts) {
+	case 0:
+		return TrueExpr()
+	case 1:
+		return conjuncts[0]
+	default:
+		return &And{Kids: conjuncts}
+	}
+}
+
+// ReferencedCols returns the set of columns the expression mentions.
+func ReferencedCols(e Expr) ColSet {
+	s := make(ColSet)
+	e.Cols(s)
+	return s
+}
+
+// AggOp enumerates aggregate functions.
+type AggOp int
+
+// Aggregate functions.
+const (
+	AggCountStar AggOp = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL name of the aggregate.
+func (o AggOp) String() string {
+	return [...]string{"COUNT", "COUNT", "SUM", "MIN", "MAX", "AVG"}[o]
+}
+
+// Agg is one aggregate computation: Op applied to Arg (nil for COUNT(*)),
+// producing output column Out.
+type Agg struct {
+	Op  AggOp
+	Arg Expr // nil for AggCountStar
+	Out ColumnID
+}
+
+// SQL renders the aggregate call.
+func (a Agg) SQL(name func(ColumnID) string) string {
+	if a.Op == AggCountStar {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Op, a.Arg.SQL(name))
+}
+
+// Hash returns a structural fingerprint of the aggregate.
+func (a Agg) Hash() string {
+	if a.Op == AggCountStar {
+		return fmt.Sprintf("cnt*->%d", a.Out)
+	}
+	return fmt.Sprintf("%d(%s)->%d", a.Op, a.Arg.Hash(), a.Out)
+}

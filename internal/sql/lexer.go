@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; punct verbatim
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "JOIN": true, "LEFT": true,
+	"OUTER": true, "INNER": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"EXISTS": true, "UNION": true, "ALL": true, "ASC": true, "DESC": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"HAVING": true, "DISTINCT": true, "IN": true, "BETWEEN": true,
+}
+
+// lex tokenizes the input, returning a token slice ending in tokEOF.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sql: unterminated string literal at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < n && (input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			if j < n && input[j] == '.' {
+				isFloat = true
+				j++
+				for j < n && (input[j] >= '0' && input[j] <= '9') {
+					j++
+				}
+			}
+			if j < n && (input[j] == 'e' || input[j] == 'E') {
+				isFloat = true
+				j++
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				for j < n && (input[j] >= '0' && input[j] <= '9') {
+					j++
+				}
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind: kind, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: i})
+			}
+			i = j
+		default:
+			switch c {
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					toks = append(toks, token{kind: tokPunct, text: input[i : i+2], pos: i})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokPunct, text: "<", pos: i})
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokPunct, text: ">=", pos: i})
+					i += 2
+				} else {
+					toks = append(toks, token{kind: tokPunct, text: ">", pos: i})
+					i++
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, token{kind: tokPunct, text: "<>", pos: i})
+					i += 2
+				} else {
+					return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+				}
+			case '=', '(', ')', ',', '.', '+', '-', '*':
+				toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

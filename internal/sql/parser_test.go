@@ -1,0 +1,234 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, q string) Stmt {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := parseOK(t, "SELECT a, b AS bee FROM t WHERE a = 1").(*Select)
+	if len(s.Items) != 2 || s.Items[1].Alias != "bee" {
+		t.Errorf("items: %+v", s.Items)
+	}
+	ref, ok := s.From.(*TableRef)
+	if !ok || ref.Name != "t" {
+		t.Errorf("from: %+v", s.From)
+	}
+	bin, ok := s.Where.(*BinExpr)
+	if !ok || bin.Op != "=" {
+		t.Errorf("where: %+v", s.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM t").(*Select)
+	if !s.Star {
+		t.Error("star not detected")
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	s := parseOK(t, "SELECT a x FROM t u").(*Select)
+	if s.Items[0].Alias != "x" {
+		t.Error("implicit select alias")
+	}
+	if s.From.(*TableRef).Alias != "u" {
+		t.Error("implicit table alias")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM a JOIN b ON a.x = b.y LEFT OUTER JOIN c ON b.y = c.z").(*Select)
+	outer, ok := s.From.(*JoinRef)
+	if !ok || outer.Kind != JoinLeftOuter {
+		t.Fatalf("outer join: %+v", s.From)
+	}
+	inner, ok := outer.L.(*JoinRef)
+	if !ok || inner.Kind != JoinInner {
+		t.Fatalf("inner join: %+v", outer.L)
+	}
+	if _, ok := outer.R.(*TableRef); !ok {
+		t.Error("right side should be a table")
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM (SELECT a FROM t) AS d WHERE d.a > 0").(*Select)
+	d, ok := s.From.(*Derived)
+	if !ok || d.Alias != "d" {
+		t.Fatalf("derived: %+v", s.From)
+	}
+	if _, ok := d.Q.(*Select); !ok {
+		t.Error("derived body should be a select")
+	}
+}
+
+func TestParseGroupByAggregates(t *testing.T) {
+	s := parseOK(t, "SELECT a, COUNT(*) AS n, SUM(b) AS s FROM t GROUP BY a").(*Select)
+	if len(s.GroupBy) != 1 {
+		t.Fatal("group by missing")
+	}
+	c := s.Items[1].E.(*CallExpr)
+	if c.Name != "COUNT" || !c.Star {
+		t.Error("COUNT(*) wrong")
+	}
+	sum := s.Items[2].E.(*CallExpr)
+	if sum.Name != "SUM" || sum.Star || sum.Arg == nil {
+		t.Error("SUM wrong")
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	st := parseOK(t, "SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v")
+	top, ok := st.(*SetOp)
+	if !ok {
+		t.Fatal("expected SetOp")
+	}
+	if _, ok := top.Left.(*SetOp); !ok {
+		t.Error("UNION ALL should be left-associative")
+	}
+	// Parenthesized variant.
+	st2 := parseOK(t, "(SELECT a FROM t) UNION ALL (SELECT b FROM u)")
+	if _, ok := st2.(*SetOp); !ok {
+		t.Error("parenthesized union")
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM t WHERE EXISTS (SELECT 1 AS one FROM u WHERE u.x = t.y) AND NOT EXISTS (SELECT 1 AS one FROM v)").(*Select)
+	bin := s.Where.(*BinExpr)
+	if bin.Op != "AND" {
+		t.Fatal("expected AND")
+	}
+	ex := bin.L.(*ExistsExpr)
+	if ex.Neg {
+		t.Error("first EXISTS should not be negated")
+	}
+	nex := bin.R.(*ExistsExpr)
+	if !nex.Neg {
+		t.Error("NOT EXISTS should be negated")
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	s := parseOK(t, "SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 7").(*Select)
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order by: %+v", s.OrderBy)
+	}
+	if s.Limit == nil || *s.Limit != 7 {
+		t.Error("limit wrong")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").(*Select)
+	or := s.Where.(*BinExpr)
+	if or.Op != "OR" {
+		t.Fatal("OR should bind loosest")
+	}
+	and := or.R.(*BinExpr)
+	if and.Op != "AND" {
+		t.Error("AND should bind tighter than OR")
+	}
+	s2 := parseOK(t, "SELECT * FROM t WHERE a + b * c < 10").(*Select)
+	cmp := s2.Where.(*BinExpr)
+	if cmp.Op != "<" {
+		t.Fatal("comparison should bind loosest among arithmetics")
+	}
+	add := cmp.L.(*BinExpr)
+	if add.Op != "+" || add.R.(*BinExpr).Op != "*" {
+		t.Error("* should bind tighter than +")
+	}
+}
+
+func TestParseLiteralsAndIsNull(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM t WHERE a IS NOT NULL AND b IS NULL AND c = 'it''s' AND d = -5 AND e = 1.25 AND f = TRUE AND g <> FALSE AND h = NULL").(*Select)
+	var count int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if bin, ok := e.(*BinExpr); ok && bin.Op == "AND" {
+			walk(bin.L)
+			walk(bin.R)
+			return
+		}
+		count++
+		switch tt := e.(type) {
+		case *IsNullExpr:
+		case *BinExpr:
+			switch r := tt.R.(type) {
+			case *StrLit:
+				if r.V != "it's" {
+					t.Errorf("string literal: %q", r.V)
+				}
+			case *IntLit:
+				if r.V != -5 {
+					t.Errorf("negative literal: %d", r.V)
+				}
+			case *FloatLit:
+				if r.V != 1.25 {
+					t.Errorf("float literal: %g", r.V)
+				}
+			case *BoolLit, *NullLit:
+			default:
+				t.Errorf("unexpected literal %T", tt.R)
+			}
+		default:
+			t.Errorf("unexpected conjunct %T", e)
+		}
+	}
+	walk(s.Where)
+	if count != 8 {
+		t.Errorf("conjuncts = %d, want 8", count)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM (SELECT a FROM t)", // derived without alias
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t UNION SELECT * FROM u", // only UNION ALL
+		"SELECT a FROM t trailing garbage (",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a ! b",
+		"SELECT COUNT( FROM t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestFormatExpr(t *testing.T) {
+	s := parseOK(t, "SELECT * FROM t WHERE (a + 1) * 2 >= b AND NOT (c IS NULL)").(*Select)
+	got := FormatExpr(s.Where)
+	for _, frag := range []string{"(a + 1)", "* 2", ">= b", "NOT", "IS NULL"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("FormatExpr missing %q in %q", frag, got)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	parseOK(t, "select a from t where a = 1 group by a order by a limit 1")
+	s := parseOK(t, "Select A From T").(*Select)
+	// Identifiers are normalized to lowercase.
+	if s.Items[0].E.(*Ident).Name != "a" || s.From.(*TableRef).Name != "t" {
+		t.Error("identifiers should be lowercased")
+	}
+}

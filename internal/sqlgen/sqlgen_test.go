@@ -1,0 +1,185 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/scalar"
+)
+
+func testCatalog() *catalog.Catalog {
+	return catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+}
+
+func scan(t *testing.T, md *logical.Metadata, name string) *logical.Expr {
+	t.Helper()
+	e, err := md.AddTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// opCounts tallies operator occurrences, ignoring Projects (the binder may
+// legally add or skip identity projections).
+func opCounts(e *logical.Expr) map[logical.Op]int {
+	m := make(map[logical.Op]int)
+	e.Walk(func(x *logical.Expr) {
+		if x.Op != logical.OpProject {
+			m[x.Op]++
+		}
+	})
+	return m
+}
+
+// roundTrip renders a tree to SQL, re-binds it, and checks the non-Project
+// operator multiset is preserved.
+func roundTrip(t *testing.T, tree *logical.Expr, md *logical.Metadata) *bind.Bound {
+	t.Helper()
+	sqlText, err := Generate(tree, md)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	bound, err := bind.BindSQL(sqlText, md.Catalog())
+	if err != nil {
+		t.Fatalf("BindSQL(%q): %v", sqlText, err)
+	}
+	want := opCounts(tree)
+	got := opCounts(bound.Tree)
+	for op, n := range want {
+		if got[op] != n {
+			t.Errorf("round trip lost operators: %s x%d became x%d\nSQL: %s\nbound:\n%s",
+				op, n, got[op], sqlText, bound.Tree)
+		}
+	}
+	return bound
+}
+
+func TestRoundTripGet(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	roundTrip(t, scan(t, md, "nation"), md)
+}
+
+func TestRoundTripSelectJoin(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	n := scan(t, md, "nation")
+	r := scan(t, md, "region")
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r},
+		On: &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: n.Cols[2]}, R: &scalar.ColRef{ID: r.Cols[0]}}}
+	sel := &logical.Expr{Op: logical.OpSelect, Children: []*logical.Expr{join},
+		Filter: &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: n.Cols[0]}, R: &scalar.Const{D: datum.NewInt(2)}}}
+	roundTrip(t, sel, md)
+}
+
+func TestRoundTripLeftJoin(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	n := scan(t, md, "nation")
+	s := scan(t, md, "supplier")
+	loj := &logical.Expr{Op: logical.OpLeftJoin, Children: []*logical.Expr{n, s},
+		On: &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: n.Cols[0]}, R: &scalar.ColRef{ID: s.Cols[2]}}}
+	roundTrip(t, loj, md)
+}
+
+func TestRoundTripSemiAnti(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	o := scan(t, md, "orders")
+	l := scan(t, md, "lineitem")
+	on := &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: o.Cols[0]}, R: &scalar.ColRef{ID: l.Cols[0]}}
+	semi := &logical.Expr{Op: logical.OpSemiJoin, Children: []*logical.Expr{o, l}, On: on}
+	roundTrip(t, semi, md)
+
+	md2 := logical.NewMetadata(testCatalog())
+	o2 := scan(t, md2, "orders")
+	l2 := scan(t, md2, "lineitem")
+	anti := &logical.Expr{Op: logical.OpAntiJoin, Children: []*logical.Expr{o2, l2},
+		On: &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: o2.Cols[0]}, R: &scalar.ColRef{ID: l2.Cols[0]}}}
+	roundTrip(t, anti, md2)
+}
+
+func TestRoundTripGroupBy(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	c := scan(t, md, "customer")
+	agg := md.AddColumn(logical.ColumnMeta{Name: "agg"})
+	gb := &logical.Expr{Op: logical.OpGroupBy, Children: []*logical.Expr{c},
+		GroupCols: []scalar.ColumnID{c.Cols[2]},
+		Aggs:      []scalar.Agg{{Op: scalar.AggSum, Arg: &scalar.ColRef{ID: c.Cols[3]}, Out: agg}}}
+	roundTrip(t, gb, md)
+}
+
+func TestRoundTripDistinct(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	c := scan(t, md, "customer")
+	gb := &logical.Expr{Op: logical.OpGroupBy, Children: []*logical.Expr{c},
+		GroupCols: []scalar.ColumnID{c.Cols[2]}}
+	roundTrip(t, gb, md)
+}
+
+func TestRoundTripUnionAll(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	n := scan(t, md, "nation")
+	r := scan(t, md, "region")
+	out := md.AddColumn(logical.ColumnMeta{Name: "u"})
+	u := &logical.Expr{Op: logical.OpUnionAll, Children: []*logical.Expr{n, r},
+		OutCols:   []scalar.ColumnID{out},
+		InputCols: [][]scalar.ColumnID{{n.Cols[1]}, {r.Cols[1]}}}
+	roundTrip(t, u, md)
+}
+
+func TestRoundTripSortLimit(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	n := scan(t, md, "nation")
+	sorted := &logical.Expr{Op: logical.OpSort, Children: []*logical.Expr{n},
+		Keys: []logical.SortKey{{Col: n.Cols[1], Desc: true}}}
+	lim := &logical.Expr{Op: logical.OpLimit, Children: []*logical.Expr{sorted}, N: 5}
+	roundTrip(t, lim, md)
+}
+
+func TestRoundTripNestedShapes(t *testing.T) {
+	// Select(Select(GroupBy(Join))) — shapes the rule patterns care about.
+	md := logical.NewMetadata(testCatalog())
+	n := scan(t, md, "nation")
+	r := scan(t, md, "region")
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r},
+		On: &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: n.Cols[2]}, R: &scalar.ColRef{ID: r.Cols[0]}}}
+	agg := md.AddColumn(logical.ColumnMeta{Name: "agg"})
+	gb := &logical.Expr{Op: logical.OpGroupBy, Children: []*logical.Expr{join},
+		GroupCols: []scalar.ColumnID{n.Cols[2]},
+		Aggs:      []scalar.Agg{{Op: scalar.AggCountStar, Out: agg}}}
+	s1 := &logical.Expr{Op: logical.OpSelect, Children: []*logical.Expr{gb},
+		Filter: &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: agg}, R: &scalar.Const{D: datum.NewInt(0)}}}
+	s2 := &logical.Expr{Op: logical.OpSelect, Children: []*logical.Expr{s1},
+		Filter: &scalar.Cmp{Op: scalar.CmpLT, L: &scalar.ColRef{ID: n.Cols[2]}, R: &scalar.Const{D: datum.NewInt(100)}}}
+	roundTrip(t, s2, md)
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	bad := &logical.Expr{Op: logical.OpGroupBy, Children: []*logical.Expr{scan(t, md, "nation")}}
+	if _, err := Generate(bad, md); err == nil {
+		t.Error("GroupBy with no columns and no aggregates must fail")
+	}
+	badGet := &logical.Expr{Op: logical.OpGet, Table: "nope"}
+	if _, err := Generate(badGet, md); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestGeneratedSQLSyntax(t *testing.T) {
+	md := logical.NewMetadata(testCatalog())
+	n := scan(t, md, "nation")
+	sel := &logical.Expr{Op: logical.OpSelect, Children: []*logical.Expr{n},
+		Filter: &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: n.Cols[1]}, R: &scalar.Const{D: datum.NewString("FRANCE")}}}
+	sqlText, err := Generate(sel, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"SELECT * FROM (", "WHERE", "'FRANCE'", "n_name AS c2"} {
+		if !strings.Contains(sqlText, frag) {
+			t.Errorf("SQL missing %q: %s", frag, sqlText)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package qtrtest is a framework for testing query transformation rules,
+// reproducing Elmongui, Narasayya and Ramamurthy, "A Framework for Testing
+// Query Transformation Rules", SIGMOD 2009.
+//
+// It bundles a transformation-rule-based query optimizer (memo search over
+// 30 exploration + 17 implementation rules), a SQL front end, an in-memory
+// execution engine with a TPC-H test database, and — on top — the paper's
+// two contributions:
+//
+//   - rule-targeted query generation: given a rule or rule pair, generate a
+//     SQL query that exercises it, by instantiating the rule's pattern
+//     (PATTERN) or stochastically (RANDOM);
+//   - test-suite compression: build the bipartite rule/query graph and
+//     minimize the cost of executing a correctness suite with the
+//     SetMultiCover or TopKIndependent algorithms, optionally exploiting
+//     cost monotonicity.
+//
+// Quick start:
+//
+//	db := qtrtest.OpenTPCH(1.0, 42)
+//	gen, _ := db.NewGenerator(qtrtest.GenConfig{Seed: 1})
+//	q, _ := gen.GeneratePattern(14) // exercise PushGroupByBelowJoin
+//	fmt.Println(q.SQL)
+package qtrtest
+
+import (
+	"fmt"
+	"strings"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/core/qgen"
+	"qtrtest/internal/core/suite"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/rules"
+	"qtrtest/internal/scalar"
+)
+
+// Re-exported types: the full API of the underlying packages is available
+// through these aliases without importing internal paths.
+type (
+	// Catalog is the test database (schema, data, statistics).
+	Catalog = catalog.Catalog
+	// Rule is one transformation rule (exploration or implementation).
+	Rule = rules.Rule
+	// RuleID identifies a rule.
+	RuleID = rules.ID
+	// RuleSet is a set of rule IDs.
+	RuleSet = rules.Set
+	// Registry is the optimizer's rule set R.
+	Registry = rules.Registry
+	// Pattern is a rule pattern tree.
+	Pattern = rules.Pattern
+	// Optimizer is the rule-based query optimizer.
+	Optimizer = opt.Optimizer
+	// OptimizeOptions configures one optimization (disabled rules etc).
+	OptimizeOptions = opt.Options
+	// OptimizeResult carries the plan, cost and exercised RuleSet.
+	OptimizeResult = opt.Result
+	// Generator produces rule-targeted queries (§3).
+	Generator = qgen.Generator
+	// GenConfig tunes a Generator.
+	GenConfig = qgen.Config
+	// GeneratedQuery is one generated test case.
+	GeneratedQuery = qgen.Query
+	// Graph is the bipartite rule/query test-suite graph (§4).
+	Graph = suite.Graph
+	// Target is a rule or rule pair under test.
+	Target = suite.Target
+	// Solution is a compressed test suite.
+	Solution = suite.Solution
+	// Report is the outcome of running a test suite.
+	Report = suite.Report
+	// SuiteConfig configures test-suite generation.
+	SuiteConfig = suite.GenConfig
+	// Row is a result row.
+	Row = datum.Row
+	// Datum is a single SQL value.
+	Datum = datum.Datum
+)
+
+// TPCHConfig re-exports the TPC-H generator configuration.
+type TPCHConfig = catalog.TPCHConfig
+
+// Extensibility surface: everything needed to define new transformation
+// rules (see examples/bughunt for a worked fault-injection example).
+type (
+	// LogicalExpr is a logical operator tree node.
+	LogicalExpr = logical.Expr
+	// LogicalOp enumerates logical operators.
+	LogicalOp = logical.Op
+	// ScalarExpr is a scalar expression.
+	ScalarExpr = scalar.Expr
+	// BoundExpr is the rule input/output currency: a pattern binding whose
+	// leaves reference memo groups.
+	BoundExpr = memo.BoundExpr
+	// RuleContext gives rules access to the memo and query metadata.
+	RuleContext = rules.Context
+)
+
+// Rule-definition helpers, re-exported from the rules and memo packages.
+var (
+	// NewExplorationRule defines a logical→logical rule.
+	NewExplorationRule = rules.NewExplorationRule
+	// RegistryWith extends the default registry with custom rules.
+	RegistryWith = rules.RegistryWith
+	// RegistryWithExtensions adds the schema-dependent extension rules
+	// (FK join elimination, OR expansion, select splitting; ids 31-34).
+	RegistryWithExtensions = rules.RegistryWithExtensions
+	// NewBound builds a substitute node over bound children.
+	NewBound = memo.NewBound
+	// PatternNode and PatternAny build rule patterns.
+	PatternNode = rules.P
+	PatternAny  = rules.Any
+)
+
+// DB bundles a catalog with an optimizer over the default rule registry; it
+// is the entry point for the whole framework.
+type DB struct {
+	Catalog   *Catalog
+	Registry  *Registry
+	Optimizer *Optimizer
+}
+
+// OpenTPCH creates the default test database: a deterministic scaled-down
+// TPC-H instance, with the full 47-rule registry.
+func OpenTPCH(scaleRows float64, seed int64) *DB {
+	cat := catalog.LoadTPCH(catalog.TPCHConfig{ScaleRows: scaleRows, Seed: seed})
+	return Open(cat, rules.DefaultRegistry())
+}
+
+// OpenStar creates the secondary test database: a retail star schema (one
+// fact table, four dimensions) matching §6.1's "other databases with
+// different schemas".
+func OpenStar(scaleRows float64, seed int64) *DB {
+	cat := catalog.LoadStar(catalog.StarConfig{ScaleRows: scaleRows, Seed: seed})
+	return Open(cat, rules.DefaultRegistry())
+}
+
+// Open wraps an arbitrary catalog and rule registry.
+func Open(cat *Catalog, reg *Registry) *DB {
+	return &DB{Catalog: cat, Registry: reg, Optimizer: opt.New(reg, cat)}
+}
+
+// Query parses, binds, optimizes and executes a SQL query, returning the
+// rows and result column names.
+func (db *DB) Query(sqlText string) ([]Row, []string, error) {
+	bound, err := bind.BindSQL(sqlText, db.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := db.Optimizer.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Run(res.Plan, db.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, bound.OutNames, nil
+}
+
+// Optimize returns the optimization result (plan, cost, RuleSet) for a SQL
+// query, with the given rules disabled.
+func (db *DB) Optimize(sqlText string, disabled ...RuleID) (*OptimizeResult, error) {
+	bound, err := bind.BindSQL(sqlText, db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	return db.Optimizer.Optimize(bound.Tree, bound.MD, opt.Options{Disabled: rules.NewSet(disabled...)})
+}
+
+// QueryDisabled executes Plan(q, ¬R): the plan obtained with the given
+// rules disabled (§2.2).
+func (db *DB) QueryDisabled(sqlText string, disabled ...RuleID) ([]Row, error) {
+	res, err := db.Optimize(sqlText, disabled...)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(res.Plan, db.Catalog)
+}
+
+// EqualResults reports whether two result sets are equal as multisets — the
+// correctness oracle of §2.3.
+func EqualResults(a, b []Row) bool { return exec.EqualMultisets(a, b) }
+
+// RuleSetOf returns RuleSet(q): the rules exercised when optimizing the
+// query (§2.2).
+func (db *DB) RuleSetOf(sqlText string) (RuleSet, error) {
+	res, err := db.Optimize(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return res.RuleSet, nil
+}
+
+// Explain renders the chosen plan for a query.
+func (db *DB) Explain(sqlText string, disabled ...RuleID) (string, error) {
+	res, err := db.Optimize(sqlText, disabled...)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan.String(), nil
+}
+
+// AnalyzeStats is the per-operator estimated-versus-actual cardinality tree
+// from an instrumented execution.
+type AnalyzeStats = exec.OpStats
+
+// Analyze optimizes and executes a query with per-operator row counting and
+// returns the rows plus the estimate-versus-actual tree (EXPLAIN ANALYZE).
+func (db *DB) Analyze(sqlText string, disabled ...RuleID) ([]Row, *AnalyzeStats, error) {
+	res, err := db.Optimize(sqlText, disabled...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exec.RunAnalyze(res.Plan, db.Catalog)
+}
+
+// NewGenerator builds a rule-targeted query generator over this database.
+func (db *DB) NewGenerator(cfg GenConfig) (*Generator, error) {
+	return qgen.New(db.Optimizer, cfg)
+}
+
+// GenerateSuite builds a correctness test suite (the bipartite graph of §4)
+// for the given targets.
+func (db *DB) GenerateSuite(targets []Target, cfg SuiteConfig) (*Graph, error) {
+	return suite.Generate(db.Optimizer, targets, cfg)
+}
+
+// NewRuleSet builds a RuleSet from ids.
+func NewRuleSet(ids ...RuleID) RuleSet { return rules.NewSet(ids...) }
+
+// PatternXML serializes one rule pattern to its XML wire form (the API of
+// §3.1).
+func PatternXML(p *Pattern) ([]byte, error) { return rules.PatternXML(p) }
+
+// SingletonTargets wraps each rule as one target.
+func SingletonTargets(ids []RuleID) []Target { return suite.SingletonTargets(ids) }
+
+// PairTargets enumerates all rule pairs.
+func PairTargets(ids []RuleID) []Target { return suite.PairTargets(ids) }
+
+// ExplorationRuleIDs returns the IDs of the first n exploration rules (all
+// of them for n <= 0).
+func (db *DB) ExplorationRuleIDs(n int) []RuleID {
+	var ids []RuleID
+	for _, r := range db.Registry.All() {
+		if r.Kind() != rules.KindExploration {
+			continue
+		}
+		ids = append(ids, r.ID())
+		if n > 0 && len(ids) == n {
+			break
+		}
+	}
+	return ids
+}
+
+// FormatRows renders rows for display.
+func FormatRows(rows []Row, names []string) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(names, " | "))
+	sb.WriteString("\n")
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, d := range r {
+			parts[i] = d.String()
+		}
+		fmt.Fprintln(&sb, strings.Join(parts, " | "))
+	}
+	return sb.String()
+}

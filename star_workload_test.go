@@ -1,0 +1,98 @@
+package qtrtest_test
+
+import (
+	"testing"
+
+	"qtrtest"
+)
+
+// starWorkload replays the engine-semantics pinning on the second test
+// database (§6.1: different schema, similar results).
+var starWorkload = []struct {
+	name string
+	sql  string
+}{
+	{
+		"fact_dim_join",
+		"SELECT p_category, SUM(f_amount) AS amt FROM sales JOIN product ON f_productkey = p_productkey GROUP BY p_category",
+	},
+	{
+		"two_dim_join",
+		"SELECT s_channel, d_year, COUNT(*) AS n FROM sales JOIN store ON f_storekey = s_storekey JOIN date_dim ON f_datekey = d_datekey GROUP BY s_channel, d_year",
+	},
+	{
+		"left_join_probe",
+		"SELECT h_name FROM shopper LEFT JOIN sales ON h_shopperkey = f_shopperkey WHERE f_salekey IS NULL",
+	},
+	{
+		"exists_shoppers",
+		"SELECT h_name FROM shopper WHERE EXISTS (SELECT 1 AS one FROM sales WHERE f_shopperkey = h_shopperkey AND f_quantity > 15)",
+	},
+	{
+		"quarter_filter",
+		"SELECT d_year, COUNT(*) AS n FROM sales JOIN date_dim ON f_datekey = d_datekey WHERE d_quarter = 2 GROUP BY d_year",
+	},
+	{
+		"union_names",
+		"SELECT p_name FROM product UNION ALL SELECT s_name FROM store",
+	},
+	{
+		"having_on_fact",
+		"SELECT f_storekey, SUM(f_amount) AS amt FROM sales GROUP BY f_storekey HAVING COUNT(*) > 30",
+	},
+}
+
+// TestStarWorkloadRuleInvariance: the paper's correctness methodology over
+// the star schema.
+func TestStarWorkloadRuleInvariance(t *testing.T) {
+	db := qtrtest.OpenStar(1.0, 42)
+	for _, w := range starWorkload {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			base, _, err := db.Query(w.sql)
+			if err != nil {
+				t.Fatalf("%s: %v", w.sql, err)
+			}
+			rs, err := db.RuleSetOf(w.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range rs.Sorted() {
+				if id > 100 {
+					continue
+				}
+				rows, err := db.QueryDisabled(w.sql, id)
+				if err != nil {
+					t.Fatalf("rule %d: %v", id, err)
+				}
+				if !qtrtest.EqualResults(base, rows) {
+					t.Errorf("disabling rule %d changes results of %s", id, w.name)
+				}
+			}
+		})
+	}
+}
+
+// TestStarWorkloadWithExtensions re-runs the workload with the
+// schema-dependent extension rules enabled — the FK joins here are exactly
+// what rules 31/32 target.
+func TestStarWorkloadWithExtensions(t *testing.T) {
+	plain := qtrtest.OpenStar(1.0, 42)
+	ext := qtrtest.Open(plain.Catalog, qtrtest.RegistryWithExtensions())
+	for _, w := range starWorkload {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			a, _, err := plain.Query(w.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := ext.Query(w.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !qtrtest.EqualResults(a, b) {
+				t.Errorf("extension rules change results of %s", w.name)
+			}
+		})
+	}
+}
