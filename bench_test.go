@@ -2,6 +2,7 @@ package qtrtest
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"qtrtest/internal/bind"
@@ -237,6 +238,34 @@ func BenchmarkFig14Monotonicity(b *testing.B) {
 		}
 		b.ReportMetric(float64(calls), "optimizer-calls")
 	})
+}
+
+// ---- parallel campaign engine ---------------------------------------------------
+
+// BenchmarkParallelGraphBuild measures the end-to-end campaign (suite
+// generation + edge costing via TopKIndependent) at different worker-pool
+// sizes. The figure series and solutions are identical across sub-benchmarks;
+// only wall-clock changes.
+func BenchmarkParallelGraphBuild(b *testing.B) {
+	db := benchDB()
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				g, err := db.GenerateSuite(PairTargets(db.ExplorationRuleIDs(5)),
+					SuiteConfig{K: 3, Seed: 9, ExtraOps: 3, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol, err := g.TopKIndependent()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = sol.TotalCost
+			}
+			b.ReportMetric(cost, "suite-cost")
+		})
+	}
 }
 
 // ---- substrate micro-benchmarks ------------------------------------------------

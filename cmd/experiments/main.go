@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-fig N] [-quick] [-seed S] [-scale F] [-trials T]
+//	experiments [-fig N] [-quick] [-seed S] [-scale F] [-trials T] [-workers W]
 //
 // Without -fig, every figure runs in order. -quick shrinks rule counts and
-// suite sizes so the whole set finishes in seconds.
+// suite sizes so the whole set finishes in seconds. -workers bounds the
+// parallel campaign engine's worker pool (default GOMAXPROCS); the printed
+// figure series are identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"qtrtest/internal/experiments"
@@ -24,9 +27,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	scale := flag.Float64("scale", 1.0, "TPC-H row scale")
 	trials := flag.Int("trials", 256, "max generation trials per target")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker pool size (figure series are identical for any value)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, ScaleRows: *scale, Quick: *quick, MaxTrials: *trials}
+	cfg := experiments.Config{Seed: *seed, ScaleRows: *scale, Quick: *quick, MaxTrials: *trials, Workers: *workers}
 	r := experiments.NewRunner(cfg)
 	w := os.Stdout
 

@@ -14,13 +14,16 @@
 //	qtrtest suite -n 10 -k 5 [-pairs] [-algo topk|smc|baseline|matching] [-validate]
 //	qtrtest interactions -n 8 [-per 3]
 //
-// Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext.
+// Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
+// -workers (worker pool size for the parallel campaign engine; suites,
+// solutions and validation reports are identical for every value).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -32,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	schema := flag.String("db", "tpch", "test database: tpch or star")
 	ext := flag.Bool("ext", false, "enable the schema-dependent extension rules (31-34)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for suite generation/compression/execution (results are identical for any value)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -68,7 +72,7 @@ func main() {
 	case "query":
 		err = cmdQuery(db, rest)
 	case "suite":
-		err = cmdSuite(db, rest, *seed)
+		err = cmdSuite(db, rest, *seed, *workers)
 	case "interactions":
 		err = cmdInteractions(db, rest, *seed)
 	default:
@@ -81,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions> [flags]")
 	os.Exit(2)
 }
 
@@ -298,7 +302,7 @@ func cmdInteractions(db *qtrtest.DB, args []string, seed int64) error {
 	return nil
 }
 
-func cmdSuite(db *qtrtest.DB, args []string, seed int64) error {
+func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	n := fs.Int("n", 10, "number of exploration rules")
 	k := fs.Int("k", 5, "test-suite size per target")
@@ -316,7 +320,7 @@ func cmdSuite(db *qtrtest.DB, args []string, seed int64) error {
 		targets = qtrtest.SingletonTargets(ids)
 	}
 	fmt.Printf("generating suite: %d targets, k=%d ...\n", len(targets), *k)
-	g, err := db.GenerateSuite(targets, qtrtest.SuiteConfig{K: *k, Seed: seed, ExtraOps: *extra})
+	g, err := db.GenerateSuite(targets, qtrtest.SuiteConfig{K: *k, Seed: seed, ExtraOps: *extra, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"qtrtest/internal/datum"
 )
@@ -46,17 +47,21 @@ type Table struct {
 	Rows        []datum.Row
 	Stats       Stats
 
-	colIdx map[string]int
+	colOnce sync.Once
+	colIdx  map[string]int
 }
 
-// ColumnIndex returns the ordinal of the named column, or -1.
+// ColumnIndex returns the ordinal of the named column, or -1. It is safe for
+// concurrent use: the name index is built exactly once, under a sync.Once,
+// so concurrent optimizations over a shared catalog never race on it.
 func (t *Table) ColumnIndex(name string) int {
-	if t.colIdx == nil {
-		t.colIdx = make(map[string]int, len(t.Columns))
+	t.colOnce.Do(func() {
+		idx := make(map[string]int, len(t.Columns))
 		for i, c := range t.Columns {
-			t.colIdx[c.Name] = i
+			idx[c.Name] = i
 		}
-	}
+		t.colIdx = idx
+	})
 	if i, ok := t.colIdx[name]; ok {
 		return i
 	}

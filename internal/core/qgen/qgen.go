@@ -24,6 +24,7 @@ import (
 	"qtrtest/internal/bind"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/physical"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/sqlgen"
 )
@@ -47,6 +48,10 @@ type Query struct {
 	Tree    *logical.Expr
 	MD      *logical.Metadata
 	RuleSet rules.Set
+	// Plan is the best physical plan with all rules enabled — Plan(q) —
+	// captured at generation time so downstream consumers (the correctness
+	// runner in particular) never re-invoke the optimizer for it.
+	Plan *physical.Expr
 	// Cost is the optimizer-estimated cost of the best plan (all rules on).
 	Cost float64
 	// Trials is the number of attempts needed to find this query.
@@ -59,7 +64,9 @@ type Query struct {
 // exercising the target rules.
 var ErrExhausted = errors.New("qgen: trial budget exhausted without exercising the target rules")
 
-// Generator produces rule-targeted test queries.
+// Generator produces rule-targeted test queries. A Generator owns a single
+// RNG and is therefore NOT safe for concurrent use; parallel campaigns give
+// every worker its own generator via Fork.
 type Generator struct {
 	opt      *opt.Optimizer
 	cfg      Config
@@ -94,6 +101,20 @@ func New(o *opt.Optimizer, cfg Config) (*Generator, error) {
 	}, nil
 }
 
+// Fork returns a generator sharing this one's optimizer, configuration and
+// parsed rule patterns (all read-only), but with an independent RNG seeded
+// at seed. Forked generators can run on concurrent workers; deriving the
+// seed from the work item (not from shared RNG state) is what keeps
+// parallel generation byte-identical to a sequential run.
+func (g *Generator) Fork(seed int64) *Generator {
+	return &Generator{
+		opt:      g.opt,
+		cfg:      g.cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		patterns: g.patterns,
+	}
+}
+
 // Pattern returns the exported pattern for a rule id.
 func (g *Generator) Pattern(id rules.ID) (*rules.Pattern, error) {
 	p, ok := g.patterns[id]
@@ -125,7 +146,7 @@ func (g *Generator) tryTree(tree *logical.Expr, md *logical.Metadata, target []r
 	}
 	return &Query{
 		SQL: sqlText, Tree: bound.Tree, MD: bound.MD,
-		RuleSet: res.RuleSet, Cost: res.Cost,
+		RuleSet: res.RuleSet, Plan: res.Plan, Cost: res.Cost,
 	}, true, nil
 }
 

@@ -77,12 +77,12 @@ func (g *Generator) relevantTry(tree *logical.Expr, md *logical.Metadata, id rul
 	if err != nil {
 		// With the rule off the query may become unplannable (for
 		// implementation rules); that certainly makes the rule relevant.
-		return &Query{SQL: sqlText, Tree: bound.Tree, MD: bound.MD, RuleSet: on.RuleSet, Cost: on.Cost}, true, nil
+		return &Query{SQL: sqlText, Tree: bound.Tree, MD: bound.MD, RuleSet: on.RuleSet, Plan: on.Plan, Cost: on.Cost}, true, nil
 	}
 	if off.Plan.Hash() == on.Plan.Hash() {
 		return nil, false, nil
 	}
-	return &Query{SQL: sqlText, Tree: bound.Tree, MD: bound.MD, RuleSet: on.RuleSet, Cost: on.Cost}, true, nil
+	return &Query{SQL: sqlText, Tree: bound.Tree, MD: bound.MD, RuleSet: on.RuleSet, Plan: on.Plan, Cost: on.Cost}, true, nil
 }
 
 // GenerateInteractionPair generates a query exhibiting the §7 rule
@@ -131,7 +131,7 @@ func (g *Generator) GenerateInteractionPair(r1, r2 rules.ID) (*Query, error) {
 		if res.Interactions[[2]rules.ID{r1, r2}] {
 			return &Query{
 				SQL: sqlText, Tree: bound.Tree, MD: bound.MD,
-				RuleSet: res.RuleSet, Cost: res.Cost,
+				RuleSet: res.RuleSet, Plan: res.Plan, Cost: res.Cost,
 				Trials: trial, Elapsed: time.Since(start),
 			}, nil
 		}

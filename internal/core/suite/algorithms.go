@@ -3,29 +3,51 @@ package suite
 import (
 	"fmt"
 	"sort"
+
+	"qtrtest/internal/par"
 )
+
+// flatten concatenates per-target assignment slices in target order; the
+// parallel algorithms write into index-addressed slots, so the flattened
+// order matches what a sequential run would have produced.
+func flatten(perTarget [][]Assignment) []Assignment {
+	n := 0
+	for _, a := range perTarget {
+		n += len(a)
+	}
+	out := make([]Assignment, 0, n)
+	for _, a := range perTarget {
+		out = append(out, a...)
+	}
+	return out
+}
 
 // Baseline is the BASELINE method of §2.3: each target executes exactly the
 // k queries generated for it, and nothing is shared — the cost is
 // Σ_i Σ_{q∈TS_i} [Cost(q) + Cost(q,¬r_i)].
 func (g *Graph) Baseline() (*Solution, error) {
-	before := g.coster.calls
-	var asg []Assignment
-	for ti, t := range g.Targets {
-		n := 0
+	before := g.coster.calls.Load()
+	perTarget := make([][]Assignment, len(g.Targets))
+	err := par.ForEachErr(g.workers, len(g.Targets), func(ti int) error {
+		t := g.Targets[ti]
+		var asg []Assignment
 		for _, q := range g.Queries {
 			if q.GeneratedFor != ti {
 				continue
 			}
 			asg = append(asg, Assignment{Target: ti, Query: q.Idx, EdgeCost: g.coster.cost(q, t)})
-			n++
 		}
-		if n != g.K {
-			return nil, fmt.Errorf("suite: target %s owns %d generated queries, want %d", t, n, g.K)
+		if len(asg) != g.K {
+			return fmt.Errorf("suite: target %s owns %d generated queries, want %d", t, len(asg), g.K)
 		}
+		perTarget[ti] = asg
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sol := g.finalize("BASELINE", asg, false)
-	sol.OptimizerCalls = g.coster.calls - before
+	sol := g.finalize("BASELINE", flatten(perTarget), false)
+	sol.OptimizerCalls = int(g.coster.calls.Load() - before)
 	return sol, nil
 }
 
@@ -35,7 +57,7 @@ func (g *Graph) Baseline() (*Solution, error) {
 // cost) until every target is covered k times. Edge costs are ignored
 // during selection — the experiments show where that hurts.
 func (g *Graph) SetMultiCover() (*Solution, error) {
-	before := g.coster.calls
+	before := g.coster.calls.Load()
 	remaining := make([]int, len(g.Targets)) // coverage still needed
 	for ti := range g.Targets {
 		remaining[ti] = g.K
@@ -89,30 +111,43 @@ func (g *Graph) SetMultiCover() (*Solution, error) {
 		}
 		_ = bestCovers
 	}
-	var asg []Assignment
+	// The greedy selection above consults only node costs; the edge costs of
+	// the chosen assignments are independent of one another, so they are
+	// materialized on the worker pool.
+	type pick struct{ qi, ti int }
+	var picks []pick
 	for qi, targets := range assignedTo {
 		for _, ti := range targets {
-			asg = append(asg, Assignment{
-				Target: ti, Query: qi,
-				EdgeCost: g.coster.cost(g.Queries[qi], g.Targets[ti]),
-			})
+			picks = append(picks, pick{qi: qi, ti: ti})
 		}
 	}
+	asg := make([]Assignment, len(picks))
+	par.ForEach(g.workers, len(picks), func(i int) {
+		p := picks[i]
+		asg[i] = Assignment{
+			Target: p.ti, Query: p.qi,
+			EdgeCost: g.coster.cost(g.Queries[p.qi], g.Targets[p.ti]),
+		}
+	})
 	sol := g.finalize("SMC", asg, true)
-	sol.OptimizerCalls = g.coster.calls - before
+	sol.OptimizerCalls = int(g.coster.calls.Load() - before)
 	return sol, nil
 }
 
 // TopKIndependent is the algorithm of Figure 6: independently for every
 // target, pick the k edges with the lowest Cost(q,¬R). It is a factor-2
-// approximation of the optimal compression (§5.2).
+// approximation of the optimal compression (§5.2). Targets are processed on
+// the worker pool — "independently for every target" is literal — and the
+// single-flight edge cache guarantees each (q,¬R) optimizes once even when
+// two targets race for a shared query's edge.
 func (g *Graph) TopKIndependent() (*Solution, error) {
-	before := g.coster.calls
-	var asg []Assignment
-	for ti, t := range g.Targets {
+	before := g.coster.calls.Load()
+	perTarget := make([][]Assignment, len(g.Targets))
+	err := par.ForEachErr(g.workers, len(g.Targets), func(ti int) error {
+		t := g.Targets[ti]
 		cand := g.Adj[ti]
 		if len(cand) < g.K {
-			return nil, fmt.Errorf("suite: target %s has only %d covering queries, want %d", t, len(cand), g.K)
+			return fmt.Errorf("suite: target %s has only %d covering queries, want %d", t, len(cand), g.K)
 		}
 		type edge struct {
 			q    int
@@ -128,12 +163,18 @@ func (g *Graph) TopKIndependent() (*Solution, error) {
 			}
 			return edges[i].q < edges[j].q
 		})
-		for _, e := range edges[:g.K] {
-			asg = append(asg, Assignment{Target: ti, Query: e.q, EdgeCost: e.cost})
+		asg := make([]Assignment, g.K)
+		for i, e := range edges[:g.K] {
+			asg[i] = Assignment{Target: ti, Query: e.q, EdgeCost: e.cost}
 		}
+		perTarget[ti] = asg
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sol := g.finalize("TOPK", asg, true)
-	sol.OptimizerCalls = g.coster.calls - before
+	sol := g.finalize("TOPK", flatten(perTarget), true)
+	sol.OptimizerCalls = int(g.coster.calls.Load() - before)
 	return sol, nil
 }
 
@@ -142,13 +183,18 @@ func (g *Graph) TopKIndependent() (*Solution, error) {
 // increasing node-cost order lets the algorithm stop computing edge costs as
 // soon as the next node cost exceeds the current k-th best edge cost. It
 // returns the same solution while invoking the optimizer far less often.
+// Targets run on the worker pool; within a target the candidate scan stays
+// sequential because each edge-cost decision (compute or prune) depends on
+// the k-th best edge seen so far — that keeps the set of optimizer calls,
+// and hence Figure 14's counts, identical for every worker count.
 func (g *Graph) TopKMonotonic() (*Solution, error) {
-	before := g.coster.calls
-	var asg []Assignment
-	for ti, t := range g.Targets {
+	before := g.coster.calls.Load()
+	perTarget := make([][]Assignment, len(g.Targets))
+	err := par.ForEachErr(g.workers, len(g.Targets), func(ti int) error {
+		t := g.Targets[ti]
 		cand := append([]int(nil), g.Adj[ti]...)
 		if len(cand) < g.K {
-			return nil, fmt.Errorf("suite: target %s has only %d covering queries, want %d", t, len(cand), g.K)
+			return fmt.Errorf("suite: target %s has only %d covering queries, want %d", t, len(cand), g.K)
 		}
 		sort.Slice(cand, func(i, j int) bool {
 			ci, cj := g.Queries[cand[i]].Cost, g.Queries[cand[j]].Cost
@@ -185,11 +231,17 @@ func (g *Graph) TopKMonotonic() (*Solution, error) {
 			}
 			insert(edge{q: qi, cost: g.coster.cost(g.Queries[qi], t)})
 		}
-		for _, e := range best {
-			asg = append(asg, Assignment{Target: ti, Query: e.q, EdgeCost: e.cost})
+		asg := make([]Assignment, len(best))
+		for i, e := range best {
+			asg[i] = Assignment{Target: ti, Query: e.q, EdgeCost: e.cost}
 		}
+		perTarget[ti] = asg
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sol := g.finalize("TOPK-MONO", asg, true)
-	sol.OptimizerCalls = g.coster.calls - before
+	sol := g.finalize("TOPK-MONO", flatten(perTarget), true)
+	sol.OptimizerCalls = int(g.coster.calls.Load() - before)
 	return sol, nil
 }

@@ -15,7 +15,7 @@ import (
 // edges[t][q] holds Cost(q,¬target_t), or a negative number for "no edge".
 func syntheticGraph(t *testing.T, k int, nodeCosts []float64, edges [][]float64) *Graph {
 	t.Helper()
-	g := &Graph{K: k, coster: &edgeCoster{cache: make(map[string]edgeResult)}}
+	g := &Graph{K: k, coster: newEdgeCoster(nil)}
 	for ti := range edges {
 		g.Targets = append(g.Targets, Target{Rules: []rules.ID{rules.ID(ti + 1)}})
 	}
@@ -35,7 +35,7 @@ func syntheticGraph(t *testing.T, k int, nodeCosts []float64, edges [][]float64)
 		g.Queries = append(g.Queries, q)
 		for ti := range edges {
 			if edges[ti][qi] >= 0 {
-				g.coster.cache[edgeKey(qi, g.Targets[ti])] = edgeResult{cost: edges[ti][qi]}
+				g.coster.prime(qi, g.Targets[ti], edgeResult{cost: edges[ti][qi]})
 			}
 		}
 	}

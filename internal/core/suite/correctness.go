@@ -7,6 +7,8 @@ import (
 	"qtrtest/internal/datum"
 	"qtrtest/internal/exec"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/par"
+	"qtrtest/internal/physical"
 )
 
 // Mismatch records one detected correctness bug: a query whose results
@@ -35,47 +37,104 @@ type Report struct {
 // identical to Plan(q)) and its result multiset is compared with the
 // original. Any difference is a correctness bug in one of the target's
 // rules.
+//
+// Plan(q) is the base plan captured at generation time (Query.BasePlan) and
+// Plan(q,¬R) comes from the edge cache populated while the compression
+// algorithm selected the edge, so for a suite built by Generate and
+// compressed by any of the algorithms, Run invokes the optimizer zero times
+// — it only executes plans. Base and edge executions each fan out over the
+// graph's worker pool; mismatches are reported in assignment order
+// regardless of the worker count. The optimizer argument is used only as a
+// fallback for graphs whose queries carry no stored base plan (e.g. graphs
+// assembled by hand).
 func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Report, error) {
 	rep := &Report{}
-	baseRows := make(map[int][]datum.Row)
-	basePlanHash := make(map[int]string)
+
+	// Distinct queries in first-appearance order.
+	var distinct []int
+	queryOf := make(map[int]int) // query index -> slot in distinct
 	for _, a := range sol.Assignments {
-		q := g.Queries[a.Query]
-		if _, ok := baseRows[a.Query]; !ok {
+		if _, ok := queryOf[a.Query]; !ok {
+			queryOf[a.Query] = len(distinct)
+			distinct = append(distinct, a.Query)
+		}
+	}
+
+	// Phase 1: execute every Plan(q) once, in parallel.
+	type baseExec struct {
+		rows []datum.Row
+		hash string
+	}
+	bases := make([]baseExec, len(distinct))
+	err := par.ForEachErr(g.workers, len(distinct), func(i int) error {
+		qi := distinct[i]
+		q := g.Queries[qi]
+		plan, hash := q.BasePlan, q.BasePlanHash
+		if plan == nil {
 			res, err := o.Optimize(q.Tree, q.MD, opt.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("suite: planning query %d: %w", a.Query, err)
+				return fmt.Errorf("suite: planning query %d: %w", qi, err)
 			}
-			rows, err := exec.Run(res.Plan, cat)
-			if err != nil {
-				return nil, fmt.Errorf("suite: executing query %d: %w", a.Query, err)
-			}
-			baseRows[a.Query] = rows
-			basePlanHash[a.Query] = res.Plan.Hash()
-			rep.PlanExecutions++
-		}
-		t := g.Targets[a.Target]
-		plan := g.EdgePlan(a.Query, t)
-		if plan == nil {
-			return nil, fmt.Errorf("suite: no plan for query %d with %s disabled", a.Query, t)
-		}
-		if plan.Hash() == basePlanHash[a.Query] {
-			// Identical plans are guaranteed to produce identical results;
-			// skip the execution (paper footnote 1).
-			rep.SkippedIdentical++
-			continue
+			plan, hash = res.Plan, res.Plan.Hash()
 		}
 		rows, err := exec.Run(plan, cat)
 		if err != nil {
-			return nil, fmt.Errorf("suite: executing query %d with %s disabled: %w", a.Query, t, err)
+			return fmt.Errorf("suite: executing query %d: %w", qi, err)
+		}
+		bases[i] = baseExec{rows: rows, hash: hash}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.PlanExecutions = len(distinct)
+
+	// Phase 2: execute every edge's Plan(q,¬R) in parallel, skipping plans
+	// identical to the base. Results land in assignment-indexed slots so the
+	// report is deterministic.
+	type edgeExec struct {
+		skipped  bool
+		mismatch *Mismatch
+	}
+	edges := make([]edgeExec, len(sol.Assignments))
+	err = par.ForEachErr(g.workers, len(sol.Assignments), func(i int) error {
+		a := sol.Assignments[i]
+		q := g.Queries[a.Query]
+		t := g.Targets[a.Target]
+		base := &bases[queryOf[a.Query]]
+		var plan *physical.Expr
+		if plan = g.EdgePlan(a.Query, t); plan == nil {
+			return fmt.Errorf("suite: no plan for query %d with %s disabled", a.Query, t)
+		}
+		if plan.Hash() == base.hash {
+			// Identical plans are guaranteed to produce identical results;
+			// skip the execution (paper footnote 1).
+			edges[i].skipped = true
+			return nil
+		}
+		rows, err := exec.Run(plan, cat)
+		if err != nil {
+			return fmt.Errorf("suite: executing query %d with %s disabled: %w", a.Query, t, err)
+		}
+		if !exec.EqualMultisets(base.rows, rows) {
+			edges[i].mismatch = &Mismatch{
+				Target: t, Query: q,
+				Detail: exec.DiffSummary(base.rows, rows),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range edges {
+		if edges[i].skipped {
+			rep.SkippedIdentical++
+			continue
 		}
 		rep.PlanExecutions++
-		base := baseRows[a.Query]
-		if !exec.EqualMultisets(base, rows) {
-			rep.Mismatches = append(rep.Mismatches, Mismatch{
-				Target: t, Query: q,
-				Detail: exec.DiffSummary(base, rows),
-			})
+		if edges[i].mismatch != nil {
+			rep.Mismatches = append(rep.Mismatches, *edges[i].mismatch)
 		}
 	}
 	return rep, nil

@@ -3,6 +3,8 @@ package suite
 import (
 	"fmt"
 	"math"
+
+	"qtrtest/internal/par"
 )
 
 // MatchingNoShare solves the §7 variant of test-suite compression: every
@@ -13,7 +15,7 @@ import (
 // the Hungarian algorithm — the polynomial-time contrast to the NP-hard
 // shared version.
 func (g *Graph) MatchingNoShare() (*Solution, error) {
-	before := g.coster.calls
+	before := g.coster.calls.Load()
 	nq := len(g.Queries)
 	slots := len(g.Targets) * g.K
 	if nq != slots {
@@ -22,9 +24,11 @@ func (g *Graph) MatchingNoShare() (*Solution, error) {
 	const big = 1e15
 	// cost[q][s]: assigning query q to slot s (slot s belongs to target
 	// s/K). Non-edges get a prohibitive (but finite) cost so the algorithm
-	// stays total; a result using one means infeasibility.
+	// stays total; a result using one means infeasibility. Rows are filled
+	// on the worker pool — building the full matrix is the edge-costing hot
+	// loop of this variant.
 	cost := make([][]float64, nq)
-	for qi := range cost {
+	par.ForEach(g.workers, nq, func(qi int) {
 		row := make([]float64, slots)
 		for s := 0; s < slots; s++ {
 			ti := s / g.K
@@ -41,7 +45,7 @@ func (g *Graph) MatchingNoShare() (*Solution, error) {
 			}
 		}
 		cost[qi] = row
-	}
+	})
 	match := hungarian(cost)
 	var asg []Assignment
 	total := 0.0
@@ -55,7 +59,7 @@ func (g *Graph) MatchingNoShare() (*Solution, error) {
 		total += cost[qi][s]
 	}
 	sol := &Solution{Name: "MATCHING", Assignments: asg, TotalCost: total}
-	sol.OptimizerCalls = g.coster.calls - before
+	sol.OptimizerCalls = int(g.coster.calls.Load() - before)
 	return sol, nil
 }
 

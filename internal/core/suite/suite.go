@@ -12,10 +12,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"qtrtest/internal/core/qgen"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/par"
 	"qtrtest/internal/physical"
 	"qtrtest/internal/rules"
 )
@@ -78,6 +81,12 @@ type Query struct {
 	// Cost is the node cost Cost(q): the optimizer-estimated cost of the
 	// plan with all rules enabled.
 	Cost float64
+	// BasePlan is Plan(q), captured when the query was generated (the
+	// generation trial already optimized it); the correctness runner reuses
+	// it instead of re-invoking the optimizer per execution.
+	BasePlan *physical.Expr
+	// BasePlanHash caches BasePlan.Hash() for the identical-plan skip.
+	BasePlanHash string
 	// GeneratedFor is the index of the target whose suite TS_i this query
 	// was generated for (the BASELINE method executes exactly those).
 	GeneratedFor int
@@ -97,13 +106,58 @@ type Graph struct {
 	K int
 
 	coster *edgeCoster
+	// workers bounds the worker pool used by the parallel algorithm and
+	// execution paths; <= 0 means GOMAXPROCS.
+	workers int
 }
 
-// edgeCoster computes and caches Cost(q, ¬R), counting optimizer calls.
+// Workers returns the graph's worker-pool bound (<= 0 means GOMAXPROCS).
+func (g *Graph) Workers() int { return g.workers }
+
+// SetWorkers overrides the worker-pool bound for subsequent algorithm runs
+// and suite executions.
+func (g *Graph) SetWorkers(n int) { g.workers = n }
+
+// edgeKey identifies one edge (q, ¬R) of the bipartite graph. Targets are
+// singleton rules or rule pairs, so two rule IDs suffice (r2 is zero for
+// singletons); a comparable struct key avoids the per-lookup allocation a
+// formatted string key would pay in the hottest loop of SMC/TOPK.
+type edgeKey struct {
+	q      int
+	r1, r2 rules.ID
+}
+
+func keyOf(q int, t Target) edgeKey {
+	k := edgeKey{q: q, r1: t.Rules[0]}
+	if len(t.Rules) > 1 {
+		k.r2 = t.Rules[1]
+	}
+	return k
+}
+
+// edgeCosterShards is the number of cache shards; a small power of two keeps
+// lock contention negligible without bloating the per-graph footprint.
+const edgeCosterShards = 16
+
+// edgeCoster computes and caches Cost(q, ¬R), counting optimizer calls. It
+// is safe for concurrent use: the cache is sharded under per-shard mutexes,
+// and each entry carries a sync.Once so that concurrent requests for the
+// same edge optimize exactly once (single-flight) — the call counter stays
+// exact under any parallel schedule, which Figure 14's accounting requires.
 type edgeCoster struct {
-	o     *opt.Optimizer
-	calls int
-	cache map[string]edgeResult
+	o      *opt.Optimizer
+	calls  atomic.Int64
+	shards [edgeCosterShards]edgeShard
+}
+
+type edgeShard struct {
+	mu sync.Mutex
+	m  map[edgeKey]*edgeEntry
+}
+
+type edgeEntry struct {
+	once sync.Once
+	res  edgeResult
 }
 
 type edgeResult struct {
@@ -111,46 +165,79 @@ type edgeResult struct {
 	plan *physical.Expr
 }
 
-func edgeKey(q int, t Target) string { return fmt.Sprintf("%d|%s", q, t) }
+func newEdgeCoster(o *opt.Optimizer) *edgeCoster {
+	ec := &edgeCoster{o: o}
+	for i := range ec.shards {
+		ec.shards[i].m = make(map[edgeKey]*edgeEntry)
+	}
+	return ec
+}
+
+func (ec *edgeCoster) shard(k edgeKey) *edgeShard {
+	h := uint64(k.q)*0x9e3779b9 + uint64(k.r1)*31 + uint64(k.r2)
+	return &ec.shards[h%edgeCosterShards]
+}
+
+// entry returns the single-flight cache entry for an edge, creating it if
+// absent. Only the entry's creator-or-first-caller runs the optimizer.
+func (ec *edgeCoster) entry(k edgeKey) *edgeEntry {
+	s := ec.shard(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		e = &edgeEntry{}
+		s.m[k] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// prime seeds the cache with a known edge result without consuming an
+// optimizer call; tests use it to build synthetic graphs.
+func (ec *edgeCoster) prime(q int, t Target, res edgeResult) {
+	e := ec.entry(keyOf(q, t))
+	e.once.Do(func() { e.res = res })
+}
 
 // cost returns Cost(q,¬R) for the target's rules, invoking the optimizer on
 // a cache miss. A query that cannot be planned at all with the rules
 // disabled costs +Inf.
 func (ec *edgeCoster) cost(q *Query, t Target) float64 {
-	res := ec.edge(q, t)
-	return res.cost
+	return ec.edge(q, t).cost
 }
 
 func (ec *edgeCoster) edge(q *Query, t Target) edgeResult {
-	key := edgeKey(q.Idx, t)
-	if r, ok := ec.cache[key]; ok {
-		return r
-	}
-	ec.calls++
-	res, err := ec.o.Optimize(q.Tree, q.MD, opt.Options{Disabled: t.Set()})
-	var r edgeResult
-	if err != nil {
-		r = edgeResult{cost: math.Inf(1)}
-	} else {
+	e := ec.entry(keyOf(q.Idx, t))
+	e.once.Do(func() {
+		ec.calls.Add(1)
+		res, err := ec.o.Optimize(q.Tree, q.MD, opt.Options{Disabled: t.Set()})
+		if err != nil {
+			e.res = edgeResult{cost: math.Inf(1)}
+			return
+		}
 		// For an ideal optimizer Cost(q) ≤ Cost(q,¬R): the search space with
 		// a rule disabled is a subset of the full one (§5.2). Our search is
 		// budget-capped, so the disabled run can occasionally stumble on a
 		// plan the full run's budget missed; clamp to restore the invariant
 		// the monotonicity optimization relies on.
-		r = edgeResult{cost: math.Max(res.Cost, q.Cost), plan: res.Plan}
-	}
-	ec.cache[key] = r
-	return r
+		e.res = edgeResult{cost: math.Max(res.Cost, q.Cost), plan: res.Plan}
+	})
+	return e.res
 }
 
 // OptimizerCalls reports how many Cost(q,¬R) optimizations have run so far.
-func (g *Graph) OptimizerCalls() int { return g.coster.calls }
+func (g *Graph) OptimizerCalls() int { return int(g.coster.calls.Load()) }
 
 // ResetOptimizerCalls zeroes the call counter and cache, so that successive
 // algorithm runs over the same graph can be compared (Figure 14).
 func (g *Graph) ResetOptimizerCalls() {
-	g.coster.calls = 0
-	g.coster.cache = make(map[string]edgeResult)
+	g.coster.calls.Store(0)
+	for i := range g.coster.shards {
+		s := &g.coster.shards[i]
+		s.mu.Lock()
+		s.m = make(map[edgeKey]*edgeEntry)
+		s.mu.Unlock()
+	}
 }
 
 // EdgeCost exposes Cost(q,¬R) for query index q and target t.
@@ -187,10 +274,18 @@ type GenConfig struct {
 	Seed int64
 	// MaxTrials bounds per-query generation attempts.
 	MaxTrials int
+	// Workers bounds the worker pool used for generation, edge costing and
+	// suite execution; <= 0 means runtime.GOMAXPROCS(0). Results are
+	// byte-identical for every worker count: each target's generator is
+	// seeded from (Seed, target index), never from shared RNG state.
+	Workers int
 }
 
 // Generate builds the overall test suite TS = ∪ TS_i for the given targets
-// and assembles the bipartite graph.
+// and assembles the bipartite graph. Targets are generated on a bounded
+// worker pool (cfg.Workers); per-target results land in index-addressed
+// slots and are flattened in target order, so the suite — including query
+// indices — does not depend on the worker count.
 func Generate(o *opt.Optimizer, targets []Target, cfg GenConfig) (*Graph, error) {
 	if cfg.K <= 0 {
 		cfg.K = 10
@@ -205,30 +300,44 @@ func Generate(o *opt.Optimizer, targets []Target, cfg GenConfig) (*Graph, error)
 	g := &Graph{
 		Targets: targets,
 		K:       cfg.K,
-		coster:  &edgeCoster{o: o, cache: make(map[string]edgeResult)},
+		coster:  newEdgeCoster(o),
+		workers: cfg.Workers,
 	}
-	for ti, t := range targets {
+	perTarget := make([][]*Query, len(targets))
+	err = par.ForEachErr(cfg.Workers, len(targets), func(ti int) error {
+		t := targets[ti]
+		wgen := gen.Fork(par.DeriveSeed(cfg.Seed, ti))
 		seen := make(map[string]bool)
-		for n := 0; n < cfg.K; {
-			q, err := g.generateOne(gen, t, cfg)
+		qs := make([]*Query, 0, cfg.K)
+		for len(qs) < cfg.K {
+			q, err := generateOne(wgen, t, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("suite: generating query %d for target %s: %w", n+1, t, err)
+				return fmt.Errorf("suite: generating query %d for target %s: %w", len(qs)+1, t, err)
 			}
 			if seen[q.SQL] {
 				continue // paper requires k distinct queries per target
 			}
 			seen[q.SQL] = true
+			qs = append(qs, q)
+		}
+		perTarget[ti] = qs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, qs := range perTarget {
+		for _, q := range qs {
 			q.Idx = len(g.Queries)
 			q.GeneratedFor = ti
 			g.Queries = append(g.Queries, q)
-			n++
 		}
 	}
 	g.buildAdjacency()
 	return g, nil
 }
 
-func (g *Graph) generateOne(gen *qgen.Generator, t Target, cfg GenConfig) (*Query, error) {
+func generateOne(gen *qgen.Generator, t Target, cfg GenConfig) (*Query, error) {
 	var res *qgen.Query
 	var err error
 	if cfg.Method == MethodRandom {
@@ -241,10 +350,15 @@ func (g *Graph) generateOne(gen *qgen.Generator, t Target, cfg GenConfig) (*Quer
 	if err != nil {
 		return nil, err
 	}
-	return &Query{
+	q := &Query{
 		SQL: res.SQL, Tree: res.Tree, MD: res.MD,
 		RuleSet: res.RuleSet, Cost: res.Cost,
-	}, nil
+		BasePlan: res.Plan,
+	}
+	if res.Plan != nil {
+		q.BasePlanHash = res.Plan.Hash()
+	}
+	return q, nil
 }
 
 func (g *Graph) buildAdjacency() {

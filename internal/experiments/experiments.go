@@ -13,6 +13,7 @@ import (
 	"qtrtest/internal/core/qgen"
 	"qtrtest/internal/core/suite"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/par"
 	"qtrtest/internal/rules"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	// MaxTrials caps per-target generation attempts (also the value
 	// recorded when RANDOM exhausts its budget).
 	MaxTrials int
+	// Workers bounds the campaign worker pool (<= 0 means GOMAXPROCS). The
+	// figure series — trial counts, suite costs, optimizer calls — are
+	// byte-identical for every worker count; only wall-clock time changes.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's parameters.
@@ -101,24 +106,28 @@ func (f *Fig8Result) Totals() (random, pattern int) {
 }
 
 // Fig8 measures, for every exploration rule, the number of query-generation
-// trials RANDOM and PATTERN need to find a query exercising the rule.
+// trials RANDOM and PATTERN need to find a query exercising the rule. Rules
+// are measured on the campaign worker pool; every rule's generators are
+// seeded from (Seed, rule id) alone, so the trial counts are identical for
+// any worker count.
 func (r *Runner) Fig8() (*Fig8Result, error) {
 	n := 0 // all
 	if r.cfg.Quick {
 		n = 10
 	}
 	ids := r.explorationIDs(n)
-	out := &Fig8Result{}
-	for _, id := range ids {
+	rows := make([]GenRow, len(ids))
+	err := par.ForEachErr(r.cfg.Workers, len(ids), func(i int) error {
+		id := ids[i]
 		rule, err := rules.DefaultRegistry().ByID(id)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := GenRow{Label: fmt.Sprintf("%d:%s", id, rule.Name())}
 
 		gr, err := r.newGenerator(r.cfg.Seed + int64(id))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if q, err := gr.GenerateRandom([]rules.ID{id}); err != nil {
 			row.RandomTrials = r.cfg.MaxTrials
@@ -130,7 +139,7 @@ func (r *Runner) Fig8() (*Fig8Result, error) {
 
 		gp, err := r.newGenerator(r.cfg.Seed + 1000 + int64(id))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if q, err := gp.GeneratePattern(id); err != nil {
 			row.PatternTrials = r.cfg.MaxTrials
@@ -139,9 +148,13 @@ func (r *Runner) Fig8() (*Fig8Result, error) {
 			row.PatternTrials = q.Trials
 			row.PatternElapsed = q.Elapsed
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // Print renders the figure as a table.
@@ -179,10 +192,12 @@ type PairGenResult struct {
 
 // PairGeneration measures trials and time to generate one query per rule
 // pair over the first n exploration rules. It backs both Figure 9 (trials)
-// and Figure 10 (time).
+// and Figure 10 (time). Pairs run on the campaign worker pool, each with
+// generators forked from (Seed, pair index); per-pair measurements land in
+// index-addressed slots and are summed in pair order, so the trial series
+// does not depend on the worker count.
 func (r *Runner) PairGeneration(n int) (*PairGenResult, error) {
 	ids := r.explorationIDs(n)
-	res := &PairGenResult{N: n}
 	gr, err := r.newGenerator(r.cfg.Seed + 31)
 	if err != nil {
 		return nil, err
@@ -191,23 +206,48 @@ func (r *Runner) PairGeneration(n int) (*PairGenResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pairs [][2]rules.ID
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
-			res.Pairs++
-			if q, err := gr.GenerateRandom([]rules.ID{ids[i], ids[j]}); err != nil {
-				res.RandomTrials += r.cfg.MaxTrials
-				res.RandomFailures++
-			} else {
-				res.RandomTrials += q.Trials
-				res.RandomElapsed += q.Elapsed
-			}
-			if q, err := gp.GeneratePatternPair(ids[i], ids[j]); err != nil {
-				res.PatternTrials += r.cfg.MaxTrials
-				res.PatternFailed++
-			} else {
-				res.PatternTrials += q.Trials
-				res.PatternElapsed += q.Elapsed
-			}
+			pairs = append(pairs, [2]rules.ID{ids[i], ids[j]})
+		}
+	}
+	type pairRow struct {
+		randomTrials, patternTrials   int
+		randomElapsed, patternElapsed time.Duration
+		randomFailed, patternFailed   bool
+	}
+	rows := make([]pairRow, len(pairs))
+	par.ForEach(r.cfg.Workers, len(pairs), func(i int) {
+		p := pairs[i]
+		var row pairRow
+		if q, err := gr.Fork(par.DeriveSeed(r.cfg.Seed+31, i)).GenerateRandom(p[:]); err != nil {
+			row.randomTrials = r.cfg.MaxTrials
+			row.randomFailed = true
+		} else {
+			row.randomTrials = q.Trials
+			row.randomElapsed = q.Elapsed
+		}
+		if q, err := gp.Fork(par.DeriveSeed(r.cfg.Seed+67, i)).GeneratePatternPair(p[0], p[1]); err != nil {
+			row.patternTrials = r.cfg.MaxTrials
+			row.patternFailed = true
+		} else {
+			row.patternTrials = q.Trials
+			row.patternElapsed = q.Elapsed
+		}
+		rows[i] = row
+	})
+	res := &PairGenResult{N: n, Pairs: len(pairs)}
+	for _, row := range rows {
+		res.RandomTrials += row.randomTrials
+		res.PatternTrials += row.patternTrials
+		res.RandomElapsed += row.randomElapsed
+		res.PatternElapsed += row.patternElapsed
+		if row.randomFailed {
+			res.RandomFailures++
+		}
+		if row.patternFailed {
+			res.PatternFailed++
 		}
 	}
 	return res, nil
@@ -290,6 +330,7 @@ func (r *Runner) compressionPoint(n, k int, pairs bool, seed int64) (*Compressio
 	}
 	g, err := suite.Generate(r.opt, targets, suite.GenConfig{
 		K: k, Seed: seed, ExtraOps: 3, MaxTrials: r.cfg.MaxTrials,
+		Workers: r.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -415,6 +456,7 @@ func (r *Runner) Fig14() ([]*MonotonicityRow, error) {
 		ids := r.explorationIDs(n)
 		g, err := suite.Generate(r.opt, suite.PairTargets(ids), suite.GenConfig{
 			K: k, Seed: r.cfg.Seed + 300 + int64(n), ExtraOps: 3, MaxTrials: r.cfg.MaxTrials,
+			Workers: r.cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

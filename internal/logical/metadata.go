@@ -35,6 +35,18 @@ func NewMetadata(cat *catalog.Catalog) *Metadata {
 // Catalog returns the catalog the metadata resolves tables against.
 func (m *Metadata) Catalog() *catalog.Catalog { return m.cat }
 
+// Clone returns an independent copy of the metadata: the clone starts with
+// the same columns but further allocations on either side are invisible to
+// the other. The optimizer clones the metadata per optimization so that
+// concurrent optimizations of the same query neither race on the column
+// table nor observe each other's synthesized columns (which would make
+// ColumnID allocation — and therefore plans — scheduling-dependent).
+func (m *Metadata) Clone() *Metadata {
+	cols := make([]ColumnMeta, len(m.cols))
+	copy(cols, m.cols)
+	return &Metadata{cols: cols, cat: m.cat, tables: m.tables}
+}
+
 // AddColumn allocates a fresh ColumnID.
 func (m *Metadata) AddColumn(meta ColumnMeta) scalar.ColumnID {
 	m.cols = append(m.cols, meta)

@@ -58,6 +58,13 @@ type Result struct {
 }
 
 // Optimizer optimizes logical trees against a catalog using a rule registry.
+//
+// An Optimizer is safe for concurrent use: it holds no mutable state of its
+// own (the registry and catalog are read-only after construction), every
+// Optimize call builds a private memo and stats cache, and the query
+// metadata is cloned per call so rules that synthesize columns never mutate
+// shared state. The parallel campaign engine relies on this to fan
+// optimizations out over a worker pool.
 type Optimizer struct {
 	reg *rules.Registry
 	cat *catalog.Catalog
@@ -92,6 +99,11 @@ func (o *Optimizer) Optimize(tree *logical.Expr, md *logical.Metadata, opts Opti
 	if maxPasses <= 0 {
 		maxPasses = defaultMaxPasses
 	}
+
+	// Rules may allocate fresh columns while exploring; working on a private
+	// clone keeps concurrent optimizations of the same query race-free and
+	// makes the ColumnIDs they allocate independent of scheduling.
+	md = md.Clone()
 
 	m := memo.New(md)
 	root := m.Insert(tree)

@@ -1,0 +1,91 @@
+// Package par provides the bounded worker-pool primitives behind the
+// parallel campaign engine: fan a fixed index space [0, n) out over a
+// bounded number of goroutines, with results written into index-addressed
+// storage so output is byte-identical regardless of the worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DeriveSeed mixes a campaign seed with a work-item index (splitmix64
+// finalizer) into an independent, well-separated RNG seed that depends only
+// on (seed, idx). Deriving per-item seeds this way — never advancing a
+// shared RNG — is the keystone of the engine's determinism guarantee: the
+// streams are identical whether items run sequentially or on any number of
+// workers.
+func DeriveSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Resolve maps a workers setting to an actual worker count: any value <= 0
+// selects runtime.GOMAXPROCS(0), i.e. one worker per usable core.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), using at most
+// workers goroutines (workers <= 0 means GOMAXPROCS). Items are claimed from
+// a shared counter, so completion order is nondeterministic; fn must write
+// its output into slot i of a preallocated slice (never append, never send
+// on a channel) for the overall result to be deterministic. With one worker
+// the calling goroutine runs every item itself in index order.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work. Every item runs to completion
+// regardless of other items' failures (so the set of completed items never
+// depends on scheduling), and the error of the lowest failing index is
+// returned — the same error a sequential loop would have surfaced first.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if Resolve(0) < 1 {
+		t.Fatalf("Resolve(0) = %d, want >= 1", Resolve(0))
+	}
+	if Resolve(-3) < 1 {
+		t.Fatalf("Resolve(-3) = %d, want >= 1", Resolve(-3))
+	}
+	if Resolve(7) != 7 {
+		t.Fatalf("Resolve(7) = %d", Resolve(7))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	if err := ForEachErr(4, 0, func(int) error { return errors.New("x") }); err != nil {
+		t.Fatalf("ForEachErr on empty range: %v", err)
+	}
+}
+
+func TestForEachIndexAddressedDeterminism(t *testing.T) {
+	const n = 500
+	run := func(workers int) []int {
+		out := make([]int, n)
+		ForEach(workers, n, func(i int) { out[i] = i * i })
+		return out
+	}
+	seq, par8 := run(1), run(8)
+	for i := range seq {
+		if seq[i] != par8[i] {
+			t.Fatalf("index %d: sequential %d vs parallel %d", i, seq[i], par8[i])
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	err := ForEachErr(8, 100, func(i int) error {
+		if i%10 == 3 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 3 failed" {
+		t.Fatalf("got %v, want the error of index 3", err)
+	}
+	if err := ForEachErr(8, 100, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForEachErrRunsAllItemsDespiteFailures(t *testing.T) {
+	var ran atomic.Int32
+	_ = ForEachErr(4, 64, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d items, want 64", ran.Load())
+	}
+}
