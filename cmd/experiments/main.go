@@ -1,5 +1,6 @@
 // Command experiments regenerates the paper's evaluation figures (§6,
-// Figures 8–14).
+// Figures 8–14) plus Figure 15, an extension: the mutation score of the
+// correctness oracle under rule-mutation fault injection.
 //
 // Usage:
 //
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to run (8-14); 0 runs all")
+	fig := flag.Int("fig", 0, "figure to run (8-15); 0 runs all")
 	quick := flag.Bool("quick", false, "shrink experiment sizes for a fast run")
 	seed := flag.Int64("seed", 42, "random seed")
 	scale := flag.Float64("scale", 1.0, "TPC-H row scale")
@@ -77,6 +78,12 @@ func main() {
 		rows, err := r.Fig14()
 		exitOn(err)
 		experiments.PrintFig14(w, rows)
+		fmt.Fprintln(w)
+	}
+	if run(15) {
+		score, err := r.Fig15()
+		exitOn(err)
+		experiments.PrintFig15(w, score)
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))

@@ -13,6 +13,7 @@
 //	qtrtest query -q "SELECT ..."
 //	qtrtest suite -n 10 -k 5 [-pairs] [-algo topk|smc|baseline|matching] [-validate]
 //	qtrtest interactions -n 8 [-per 3]
+//	qtrtest mutate [-k 4] [-targets 0] [-extra 0] [-kinds a,b] [-diff]
 //
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
 // -workers (worker pool size for the parallel campaign engine; suites,
@@ -75,6 +76,8 @@ func main() {
 		err = cmdSuite(db, rest, *seed, *workers)
 	case "interactions":
 		err = cmdInteractions(db, rest, *seed)
+	case "mutate":
+		err = cmdMutate(db, rest, *seed, *workers)
 	default:
 		usage()
 	}
@@ -85,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate> [flags]")
 	os.Exit(2)
 }
 
@@ -302,6 +305,41 @@ func cmdInteractions(db *qtrtest.DB, args []string, seed int64) error {
 	return nil
 }
 
+// cmdMutate runs the rule-mutation fault-injection campaign: one full
+// generate/compress/execute pipeline per injected rule fault, reporting the
+// mutation score of the uncompressed and compressed suites.
+func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int) error {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	k := fs.Int("k", 12, "test-suite size per target")
+	targets := fs.Int("targets", 0, "extra healthy-rule targets beside the mutated rule (slow at full scale: wrong plans can be cross products)")
+	extra := fs.Int("extra", 0, "extra random operators per query")
+	trials := fs.Int("trials", 512, "max generation trials per query")
+	kinds := fs.String("kinds", "", "comma-separated mutant kinds (default: all)")
+	diff := fs.Bool("diff", false, "print per-mutant plan-diff evidence")
+	fs.Parse(args)
+	cfg := qtrtest.MutationConfig{
+		K: *k, Targets: *targets, ExtraOps: *extra, Seed: seed,
+		MaxTrials: *trials, Workers: workers,
+	}
+	if *kinds != "" {
+		var ks []qtrtest.MutantKind
+		for _, part := range strings.Split(*kinds, ",") {
+			ks = append(ks, qtrtest.MutantKind(strings.TrimSpace(part)))
+		}
+		ms, err := qtrtest.MutantsByKind(ks...)
+		if err != nil {
+			return err
+		}
+		cfg.Mutants = ms
+	}
+	score, err := db.MutationCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	score.Print(os.Stdout, *diff)
+	return nil
+}
+
 func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	n := fs.Int("n", 10, "number of exploration rules")
@@ -355,10 +393,13 @@ func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("validation: %d plan executions, %d skipped (identical plans), %d mismatches\n",
-			rep.PlanExecutions, rep.SkippedIdentical, len(rep.Mismatches))
+		fmt.Printf("validation: %d plan executions, %d skipped (identical plans), %d mismatches, %d undetermined\n",
+			rep.PlanExecutions, rep.SkippedIdentical, len(rep.Mismatches), len(rep.Undetermined))
 		for _, m := range rep.Mismatches {
 			fmt.Printf("  BUG target %s: %s\n      %s\n", m.Target, m.Detail, m.Query.SQL)
+		}
+		for _, u := range rep.Undetermined {
+			fmt.Printf("  UNDETERMINED target %s: %s\n      %s\n", u.Target, u.Detail, u.Query.SQL)
 		}
 	}
 	return nil

@@ -17,6 +17,21 @@ type Mismatch struct {
 	Target Target
 	Query  *Query
 	Detail string
+	// BasePlan and EdgePlan are the rendered Plan(q) and Plan(q,¬R): the
+	// plan-level evidence for the bug report, so a reader can see which
+	// operator choice diverged without re-running the optimizer.
+	BasePlan string
+	EdgePlan string
+}
+
+// Undetermined flags an edge whose results differ even though the query's
+// semantics do not fully determine its output (a LIMIT without a total
+// order). Two correct plans may legally disagree on such queries, so they
+// are reported separately instead of being counted as correctness bugs.
+type Undetermined struct {
+	Target Target
+	Query  *Query
+	Detail string
 }
 
 // Report summarizes one execution of a (possibly compressed) test suite.
@@ -30,13 +45,18 @@ type Report struct {
 	// Mismatches are the correctness bugs found (empty for a healthy rule
 	// set).
 	Mismatches []Mismatch
+	// Undetermined lists edges whose result differences are explained by
+	// under-determined query semantics rather than a rule bug.
+	Undetermined []Undetermined
 }
 
 // Run executes the solution's test suite against the database: for every
 // distinct query, Plan(q) runs once; for every edge, Plan(q,¬R) runs (unless
-// identical to Plan(q)) and its result multiset is compared with the
-// original. Any difference is a correctness bug in one of the target's
-// rules.
+// identical to Plan(q)) and its results are compared with the original by
+// the order-aware oracle (exec.CompareResults): multiset comparison by
+// default, order-sensitive on the sort keys when the plan roots establish an
+// ordering, and differences explainable by a LIMIT without a total order are
+// flagged as Undetermined rather than reported as bugs.
 //
 // Plan(q) is the base plan captured at generation time (Query.BasePlan) and
 // Plan(q,¬R) comes from the edge cache populated while the compression
@@ -62,8 +82,10 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 
 	// Phase 1: execute every Plan(q) once, in parallel.
 	type baseExec struct {
-		rows []datum.Row
-		hash string
+		plan  *physical.Expr
+		rows  []datum.Row
+		hash  string
+		order exec.PlanOrder
 	}
 	bases := make([]baseExec, len(distinct))
 	err := par.ForEachErr(g.workers, len(distinct), func(i int) error {
@@ -81,7 +103,7 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d: %w", qi, err)
 		}
-		bases[i] = baseExec{rows: rows, hash: hash}
+		bases[i] = baseExec{plan: plan, rows: rows, hash: hash, order: exec.RootOrder(plan)}
 		return nil
 	})
 	if err != nil {
@@ -93,8 +115,9 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 	// identical to the base. Results land in assignment-indexed slots so the
 	// report is deterministic.
 	type edgeExec struct {
-		skipped  bool
-		mismatch *Mismatch
+		skipped      bool
+		mismatch     *Mismatch
+		undetermined *Undetermined
 	}
 	edges := make([]edgeExec, len(sol.Assignments))
 	err = par.ForEachErr(g.workers, len(sol.Assignments), func(i int) error {
@@ -116,11 +139,15 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d with %s disabled: %w", a.Query, t, err)
 		}
-		if !exec.EqualMultisets(base.rows, rows) {
+		verdict, detail := exec.CompareResults(base.rows, base.order, rows, exec.RootOrder(plan))
+		switch verdict {
+		case exec.VerdictMismatch:
 			edges[i].mismatch = &Mismatch{
-				Target: t, Query: q,
-				Detail: exec.DiffSummary(base.rows, rows),
+				Target: t, Query: q, Detail: detail,
+				BasePlan: base.plan.String(), EdgePlan: plan.String(),
 			}
+		case exec.VerdictUndetermined:
+			edges[i].undetermined = &Undetermined{Target: t, Query: q, Detail: detail}
 		}
 		return nil
 	})
@@ -135,6 +162,9 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		rep.PlanExecutions++
 		if edges[i].mismatch != nil {
 			rep.Mismatches = append(rep.Mismatches, *edges[i].mismatch)
+		}
+		if edges[i].undetermined != nil {
+			rep.Undetermined = append(rep.Undetermined, *edges[i].undetermined)
 		}
 	}
 	return rep, nil

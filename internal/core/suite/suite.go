@@ -309,13 +309,22 @@ func Generate(o *opt.Optimizer, targets []Target, cfg GenConfig) (*Graph, error)
 		wgen := gen.Fork(par.DeriveSeed(cfg.Seed, ti))
 		seen := make(map[string]bool)
 		qs := make([]*Query, 0, cfg.K)
+		dups := 0
 		for len(qs) < cfg.K {
 			q, err := generateOne(wgen, t, cfg)
 			if err != nil {
 				return fmt.Errorf("suite: generating query %d for target %s: %w", len(qs)+1, t, err)
 			}
 			if seen[q.SQL] {
-				continue // paper requires k distinct queries per target
+				// The paper requires k distinct queries per target; retry, but
+				// bounded — a generator whose query space for this target holds
+				// fewer than k distinct queries would otherwise loop forever.
+				dups++
+				if dups >= cfg.MaxTrials {
+					return fmt.Errorf("suite: only %d distinct queries for target %s after %d duplicate trials (k=%d)",
+						len(qs), t, dups, cfg.K)
+				}
+				continue
 			}
 			seen[q.SQL] = true
 			qs = append(qs, q)

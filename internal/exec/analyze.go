@@ -158,19 +158,9 @@ func RunAnalyze(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, *OpStat
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := it.Open(); err != nil {
+	rows, err := runIter(it)
+	if err != nil {
 		return nil, nil, err
 	}
-	defer it.Close()
-	var out []datum.Row
-	for {
-		row, err := it.Next()
-		if err != nil {
-			return nil, nil, err
-		}
-		if row == nil {
-			return out, stats, nil
-		}
-		out = append(out, row)
-	}
+	return rows, stats, nil
 }

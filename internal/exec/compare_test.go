@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// bruteForceEqualMultisets is the obviously-correct O(n^2) reference: greedy
+// bipartite matching on row keys.
+func bruteForceEqualMultisets(a, b []datum.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, ra := range a {
+		found := false
+		for j, rb := range b {
+			if !used[j] && ra.Key() == rb.Key() {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// randomRows draws rows of the given width from a small value domain (ints,
+// floats, strings, NULLs) so that duplicates and cross-type equalities
+// (1 vs 1.0) occur often.
+func randomRows(rng *rand.Rand, n, width int) []datum.Row {
+	out := make([]datum.Row, n)
+	for i := range out {
+		row := make(datum.Row, width)
+		for j := range row {
+			switch rng.Intn(4) {
+			case 0:
+				row[j] = datum.NewInt(int64(rng.Intn(3)))
+			case 1:
+				row[j] = datum.NewFloat(float64(rng.Intn(3)))
+			case 2:
+				row[j] = datum.NewString(string(rune('a' + rng.Intn(2))))
+			default:
+				row[j] = datum.Null
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestEqualMultisetsProperty checks the hashed multiset oracle against the
+// brute-force matcher on random row sets: permutations must compare equal,
+// and random independent draws must agree with the reference either way.
+func TestEqualMultisetsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(8)
+		w := 1 + rng.Intn(3)
+		a := randomRows(rng, n, w)
+
+		// A shuffled copy is always an equal multiset.
+		perm := make([]datum.Row, n)
+		copy(perm, a)
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if !EqualMultisets(a, perm) {
+			t.Fatalf("trial %d: shuffled copy not equal: %v vs %v", trial, a, perm)
+		}
+
+		// An independent draw from the same small domain collides often
+		// enough to exercise both outcomes.
+		b := randomRows(rng, n, w)
+		got := EqualMultisets(a, b)
+		want := bruteForceEqualMultisets(a, b)
+		if got != want {
+			t.Fatalf("trial %d: EqualMultisets=%v, brute force=%v\na=%v\nb=%v", trial, got, want, a, b)
+		}
+		if !got && DiffSummary(a, b) == "" {
+			t.Fatalf("trial %d: unequal multisets but empty DiffSummary", trial)
+		}
+	}
+}
+
+// ---- RootOrder --------------------------------------------------------------
+
+func sortPlan(child *physical.Expr, keys ...logical.SortKey) *physical.Expr {
+	return &physical.Expr{Op: physical.OpSort, Children: []*physical.Expr{child}, Keys: keys}
+}
+
+func limitPlan(child *physical.Expr, n int64) *physical.Expr {
+	return &physical.Expr{Op: physical.OpLimit, Children: []*physical.Expr{child}, N: n}
+}
+
+func TestRootOrder(t *testing.T) {
+	scan := scanT1() // cols 1 (slot 0), 2 (slot 1)
+
+	t.Run("unsorted scan", func(t *testing.T) {
+		o := RootOrder(scan)
+		if o.Sorted || o.HasLimit {
+			t.Errorf("scan order = %+v, want unsorted, no limit", o)
+		}
+	})
+
+	t.Run("sort at root", func(t *testing.T) {
+		o := RootOrder(sortPlan(scan, logical.SortKey{Col: 2, Desc: true}, logical.SortKey{Col: 1}))
+		if !o.Sorted || len(o.Slots) != 2 || o.Slots[0] != 1 || o.Slots[1] != 0 {
+			t.Fatalf("order = %+v, want slots [1 0]", o)
+		}
+		if !o.Descs[0] || o.Descs[1] {
+			t.Errorf("descs = %v, want [true false]", o.Descs)
+		}
+		if o.HasLimit || o.LimitBelowSort {
+			t.Errorf("order = %+v, want no limit", o)
+		}
+	})
+
+	t.Run("limit above sort", func(t *testing.T) {
+		o := RootOrder(limitPlan(sortPlan(scan, logical.SortKey{Col: 1}), 2))
+		if !o.Sorted || !o.HasLimit || o.LimitBelowSort {
+			t.Errorf("order = %+v, want sorted, limit above sort", o)
+		}
+	})
+
+	t.Run("limit below sort", func(t *testing.T) {
+		o := RootOrder(sortPlan(limitPlan(scan, 2), logical.SortKey{Col: 1}))
+		if !o.Sorted || !o.HasLimit || !o.LimitBelowSort {
+			t.Errorf("order = %+v, want sorted with limit below sort", o)
+		}
+	})
+
+	t.Run("projection renames sort key", func(t *testing.T) {
+		proj := &physical.Expr{
+			Op: physical.OpProject, Children: []*physical.Expr{sortPlan(scan, logical.SortKey{Col: 2})},
+			Projs: []logical.ProjItem{
+				{Out: 9, E: &scalar.ColRef{ID: 2}},
+				{Out: 10, E: &scalar.ColRef{ID: 1}},
+			},
+		}
+		o := RootOrder(proj)
+		if !o.Sorted || len(o.Slots) != 1 || o.Slots[0] != 0 {
+			t.Errorf("order = %+v, want key lifted to slot 0", o)
+		}
+	})
+
+	t.Run("projection drops sort key", func(t *testing.T) {
+		proj := &physical.Expr{
+			Op: physical.OpProject, Children: []*physical.Expr{sortPlan(scan, logical.SortKey{Col: 2})},
+			Projs: []logical.ProjItem{{Out: 9, E: &scalar.ColRef{ID: 1}}},
+		}
+		if o := RootOrder(proj); o.Sorted {
+			t.Errorf("order = %+v, want unsorted (key projected away)", o)
+		}
+	})
+
+	t.Run("projection computes over sort key", func(t *testing.T) {
+		proj := &physical.Expr{
+			Op: physical.OpProject, Children: []*physical.Expr{sortPlan(scan, logical.SortKey{Col: 2})},
+			Projs: []logical.ProjItem{{Out: 9, E: &scalar.Arith{
+				Op: scalar.ArithAdd, L: &scalar.ColRef{ID: 2}, R: &scalar.Const{D: datum.NewInt(1)}}}},
+		}
+		if o := RootOrder(proj); o.Sorted {
+			t.Errorf("order = %+v, want unsorted (key computed over)", o)
+		}
+	})
+
+	t.Run("trailing key truncated, prefix kept", func(t *testing.T) {
+		proj := &physical.Expr{
+			Op: physical.OpProject, Children: []*physical.Expr{sortPlan(scan,
+				logical.SortKey{Col: 1}, logical.SortKey{Col: 2})},
+			Projs: []logical.ProjItem{{Out: 9, E: &scalar.ColRef{ID: 1}}},
+		}
+		o := RootOrder(proj)
+		if !o.Sorted || len(o.Slots) != 1 || o.Slots[0] != 0 {
+			t.Errorf("order = %+v, want one-key prefix at slot 0", o)
+		}
+	})
+
+	t.Run("sort under join does not order the root", func(t *testing.T) {
+		join := joinPlan(physical.OpHashJoin, physical.JoinInner)
+		join.Children[0] = sortPlan(join.Children[0], logical.SortKey{Col: 1})
+		if o := RootOrder(join); o.Sorted {
+			t.Errorf("order = %+v, want unsorted (sort buried under join)", o)
+		}
+	})
+}
+
+// ---- CompareResults ---------------------------------------------------------
+
+func intRows(vals ...int64) []datum.Row {
+	out := make([]datum.Row, len(vals))
+	for i, v := range vals {
+		out[i] = datum.Row{datum.NewInt(v)}
+	}
+	return out
+}
+
+func TestCompareResults(t *testing.T) {
+	unordered := PlanOrder{}
+	limited := PlanOrder{HasLimit: true}
+	asc := PlanOrder{Sorted: true, Slots: []int{0}, Descs: []bool{false}}
+	ascLimited := PlanOrder{Sorted: true, Slots: []int{0}, Descs: []bool{false}, HasLimit: true}
+	ascLimitBelow := PlanOrder{Sorted: true, Slots: []int{0}, Descs: []bool{false},
+		HasLimit: true, LimitBelowSort: true}
+
+	cases := []struct {
+		name       string
+		base, alt  []datum.Row
+		bo, ao     PlanOrder
+		want       Verdict
+		wantDetail string // substring; "" means don't check
+	}{
+		{name: "equal multisets, unordered",
+			base: intRows(1, 2, 3), alt: intRows(3, 1, 2), bo: unordered, ao: unordered,
+			want: VerdictEqual},
+		{name: "count mismatch is always a bug",
+			base: intRows(1, 2, 3), alt: intRows(1, 2), bo: limited, ao: limited,
+			want: VerdictMismatch, wantDetail: "row count mismatch"},
+		{name: "different rows, unordered, no limit",
+			base: intRows(1, 2, 3), alt: intRows(1, 2, 4), bo: unordered, ao: unordered,
+			want: VerdictMismatch},
+		{name: "different rows under LIMIT without order",
+			base: intRows(1, 2, 3), alt: intRows(1, 2, 4), bo: limited, ao: limited,
+			want: VerdictUndetermined, wantDetail: "LIMIT without a total order"},
+		{name: "ordered, key sequences diverge",
+			base: intRows(1, 2, 3), alt: intRows(3, 2, 1), bo: asc, ao: asc,
+			want: VerdictMismatch, wantDetail: "ordered results diverge at row 0"},
+		{name: "ordered divergence explained by LIMIT below sort",
+			base: intRows(1, 2, 3), alt: intRows(2, 3, 4), bo: ascLimitBelow, ao: asc,
+			want: VerdictUndetermined, wantDetail: "LIMIT below the ORDER BY"},
+		{name: "ordered, equal keys and multisets",
+			base: intRows(1, 2, 2), alt: intRows(1, 2, 2), bo: asc, ao: asc,
+			want: VerdictEqual},
+		{name: "ordered, equal keys but multiset differs at LIMIT boundary",
+			base: []datum.Row{{datum.NewInt(1), datum.NewInt(10)}, {datum.NewInt(2), datum.NewInt(20)}},
+			alt:  []datum.Row{{datum.NewInt(1), datum.NewInt(10)}, {datum.NewInt(2), datum.NewInt(21)}},
+			bo:   ascLimited, ao: ascLimited,
+			want: VerdictUndetermined, wantDetail: "LIMIT boundary"},
+		{name: "ordered, equal keys but multiset differs, no limit",
+			base: []datum.Row{{datum.NewInt(1), datum.NewInt(10)}, {datum.NewInt(2), datum.NewInt(20)}},
+			alt:  []datum.Row{{datum.NewInt(1), datum.NewInt(10)}, {datum.NewInt(2), datum.NewInt(21)}},
+			bo:   asc, ao: asc,
+			want: VerdictMismatch},
+		{name: "only one side ordered falls back to multiset compare",
+			base: intRows(3, 1, 2), alt: intRows(1, 2, 3), bo: asc, ao: unordered,
+			want: VerdictEqual},
+		{name: "tie permutation within ordered results is legal",
+			base: []datum.Row{{datum.NewInt(1), datum.NewInt(10)}, {datum.NewInt(1), datum.NewInt(20)}},
+			alt:  []datum.Row{{datum.NewInt(1), datum.NewInt(20)}, {datum.NewInt(1), datum.NewInt(10)}},
+			bo:   asc, ao: asc,
+			want: VerdictEqual},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, detail := CompareResults(tc.base, tc.bo, tc.alt, tc.ao)
+			if got != tc.want {
+				t.Fatalf("verdict = %s (%s), want %s", got, detail, tc.want)
+			}
+			if tc.wantDetail != "" && !strings.Contains(detail, tc.wantDetail) {
+				t.Errorf("detail = %q, want substring %q", detail, tc.wantDetail)
+			}
+		})
+	}
+}
+
+// TestCompareResultsCatchesFlippedSort is the oracle-level regression for the
+// flip-sort-dir mutant: same multiset, reversed order, both roots sorted.
+// The multiset oracle alone would call this equal.
+func TestCompareResultsCatchesFlippedSort(t *testing.T) {
+	asc := PlanOrder{Sorted: true, Slots: []int{0}, Descs: []bool{false}}
+	desc := PlanOrder{Sorted: true, Slots: []int{0}, Descs: []bool{true}}
+	base := intRows(1, 2, 3)
+	alt := intRows(3, 2, 1)
+	if !EqualMultisets(base, alt) {
+		t.Fatal("setup: rows must be equal as multisets")
+	}
+	got, _ := CompareResults(base, asc, alt, desc)
+	if got != VerdictMismatch {
+		t.Fatalf("verdict = %s, want mismatch for reversed ordered results", got)
+	}
+}

@@ -56,11 +56,20 @@ func Run(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runIter(it)
+}
+
+// runIter opens, drains and closes an iterator. A Close error on an
+// otherwise successful scan is a real failure and must not be swallowed.
+func runIter(it Iterator) (out []datum.Row, err error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	var out []datum.Row
+	defer func() {
+		if cerr := it.Close(); cerr != nil && err == nil {
+			out, err = nil, cerr
+		}
+	}()
 	for {
 		row, err := it.Next()
 		if err != nil {
@@ -163,6 +172,17 @@ func (s *sortIter) Open() error {
 	if err := s.child.Open(); err != nil {
 		return err
 	}
+	// Resolve key slots up front: a sort key missing from the input is a
+	// plan-construction bug and must fail loudly, not silently sort by the
+	// column in slot 0.
+	slots := make([]int, len(s.keys))
+	for i, k := range s.keys {
+		slot, ok := s.env[k.Col]
+		if !ok {
+			return fmt.Errorf("exec: sort key column c%d not in input", k.Col)
+		}
+		slots[i] = slot
+	}
 	s.rows = s.rows[:0]
 	for {
 		row, err := s.child.Next()
@@ -175,8 +195,8 @@ func (s *sortIter) Open() error {
 		s.rows = append(s.rows, row)
 	}
 	sort.SliceStable(s.rows, func(i, j int) bool {
-		for _, k := range s.keys {
-			slot := s.env[k.Col]
+		for ki, k := range s.keys {
+			slot := slots[ki]
 			c := datum.TotalCompare(s.rows[i][slot], s.rows[j][slot])
 			if c != 0 {
 				if k.Desc {

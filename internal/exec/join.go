@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -8,6 +9,21 @@ import (
 	"qtrtest/internal/physical"
 	"qtrtest/internal/scalar"
 )
+
+// keySlots resolves equi-key columns to input row slots. A key column
+// missing from its input is a plan-construction bug and must surface as an
+// error rather than silently probing slot 0.
+func keySlots(env scalar.Env, cols []scalar.ColumnID, join, side string) ([]int, error) {
+	slots := make([]int, len(cols))
+	for i, c := range cols {
+		s, ok := env[c]
+		if !ok {
+			return nil, fmt.Errorf("exec: %s join key column c%d not in %s input", join, c, side)
+		}
+		slots[i] = s
+	}
+	return slots, nil
+}
 
 // drain reads an iterator to completion.
 func drain(it Iterator) ([]datum.Row, error) {
@@ -100,13 +116,12 @@ func (h *hashJoinIter) Open() error {
 	h.rightWidth = len(rcols)
 	lenv := envOf(lcols)
 	renv := envOf(rcols)
-	h.leftSlots = make([]int, len(h.plan.EquiLeft))
-	for i, c := range h.plan.EquiLeft {
-		h.leftSlots[i] = lenv[c]
+	var err error
+	if h.leftSlots, err = keySlots(lenv, h.plan.EquiLeft, "hash", "left"); err != nil {
+		return err
 	}
-	h.rightSlots = make([]int, len(h.plan.EquiRight))
-	for i, c := range h.plan.EquiRight {
-		h.rightSlots[i] = renv[c]
+	if h.rightSlots, err = keySlots(renv, h.plan.EquiRight, "hash", "right"); err != nil {
+		return err
 	}
 	rows, err := drain(h.right)
 	if err != nil {
@@ -307,13 +322,13 @@ func (m *mergeJoinIter) Open() error {
 	m.env = combinedEnv(m.plan)
 	lenv := envOf(m.plan.Children[0].OutputCols())
 	renv := envOf(m.plan.Children[1].OutputCols())
-	lslots := make([]int, len(m.plan.EquiLeft))
-	for i, c := range m.plan.EquiLeft {
-		lslots[i] = lenv[c]
+	lslots, err := keySlots(lenv, m.plan.EquiLeft, "merge", "left")
+	if err != nil {
+		return err
 	}
-	rslots := make([]int, len(m.plan.EquiRight))
-	for i, c := range m.plan.EquiRight {
-		rslots[i] = renv[c]
+	rslots, err := keySlots(renv, m.plan.EquiRight, "merge", "right")
+	if err != nil {
+		return err
 	}
 	lrows, err := drain(m.left)
 	if err != nil {

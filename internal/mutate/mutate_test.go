@@ -1,0 +1,88 @@
+package mutate
+
+import (
+	"strings"
+	"testing"
+
+	"qtrtest/internal/physical"
+	"qtrtest/internal/rules"
+)
+
+func TestMutantsCoverDistinctKindsAndRules(t *testing.T) {
+	ms := Mutants()
+	if len(ms) < 6 {
+		t.Fatalf("shipped mutants = %d, want at least 6 distinct kinds", len(ms))
+	}
+	kinds := map[Kind]bool{}
+	ids := map[rules.ID]bool{}
+	for _, m := range ms {
+		if kinds[m.Kind] {
+			t.Errorf("duplicate mutant kind %s", m.Kind)
+		}
+		kinds[m.Kind] = true
+		if ids[m.Rule] {
+			t.Errorf("two mutants target rule %d", m.Rule)
+		}
+		ids[m.Rule] = true
+		if m.Description == "" || m.RuleName == "" {
+			t.Errorf("%s: missing description or rule name", m.Kind)
+		}
+		if (m.explApply == nil) == (m.wrapImpl == nil) {
+			t.Errorf("%s: want exactly one of explApply/wrapImpl", m.Kind)
+		}
+	}
+}
+
+// TestRegistryReplacesInPlace: the mutated rule must keep its ID, name and
+// position (definition order is the implementor's tie-break), and
+// implementation-rule mutants must append exactly one pristine copy.
+func TestRegistryReplacesInPlace(t *testing.T) {
+	orig := rules.DefaultRegistry().All()
+	for _, m := range Mutants() {
+		mutated := m.Registry().All()
+		wantLen := len(orig)
+		if m.wrapImpl != nil {
+			wantLen++ // pristine copy appended
+		}
+		if len(mutated) != wantLen {
+			t.Fatalf("%s: registry size %d, want %d", m, len(mutated), wantLen)
+		}
+		for i, r := range orig {
+			if mutated[i].ID() != r.ID() || mutated[i].Name() != r.Name() {
+				t.Errorf("%s: slot %d is %d/%s, want %d/%s (in-place replacement)",
+					m, i, mutated[i].ID(), mutated[i].Name(), r.ID(), r.Name())
+			}
+		}
+		if m.wrapImpl != nil {
+			last := mutated[len(mutated)-1]
+			if last.ID() != m.Rule+PristineIDOffset || !strings.HasSuffix(last.Name(), "Pristine") {
+				t.Errorf("%s: pristine copy is %d/%s, want %d/*Pristine",
+					m, last.ID(), last.Name(), m.Rule+PristineIDOffset)
+			}
+		}
+	}
+}
+
+func TestRegistryPanicsOnUnknownRule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Registry() must panic for a mutant that matches no rule")
+		}
+	}()
+	m := Mutant{Kind: "bogus", Rule: 999, RuleName: "Nope",
+		wrapImpl: func(outs []*physical.Expr) []*physical.Expr { return outs }}
+	m.Registry()
+}
+
+func TestByKind(t *testing.T) {
+	ms, err := ByKind(KindFlipSortDir, KindLimitOffByOne)
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("ByKind = %v mutants, err %v", len(ms), err)
+	}
+	if ms[0].Kind != KindFlipSortDir || ms[1].Kind != KindLimitOffByOne {
+		t.Errorf("ByKind order = %v, %v; want catalog order", ms[0].Kind, ms[1].Kind)
+	}
+	if _, err := ByKind(Kind("no-such-fault")); err == nil {
+		t.Error("unknown kind must error")
+	}
+}

@@ -189,16 +189,49 @@ func (e *Expr) Hash() string {
 // String renders an indented plan with cost annotations, in the spirit of
 // EXPLAIN output.
 func (e *Expr) String() string {
+	cname := func(c scalar.ColumnID) string { return fmt.Sprintf("c%d", c) }
 	var sb strings.Builder
 	var walk func(x *Expr, depth int)
 	walk = func(x *Expr, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth))
 		sb.WriteString(x.Op.String())
-		if x.Op == OpHashJoin || x.Op == OpNLJoin || x.Op == OpMergeJoin {
-			fmt.Fprintf(&sb, "(%s)", x.JoinType)
-		}
-		if x.Op == OpScan {
+		// Operator payloads are part of the rendering: two plans that differ
+		// only in a sort direction, a limit count or an aggregate function
+		// must render differently — the correctness reports use this output
+		// as plan-diff evidence.
+		switch x.Op {
+		case OpHashJoin, OpNLJoin, OpMergeJoin:
+			fmt.Fprintf(&sb, "(%s", x.JoinType)
+			for i := range x.EquiLeft {
+				fmt.Fprintf(&sb, " c%d=c%d", x.EquiLeft[i], x.EquiRight[i])
+			}
+			sb.WriteString(")")
+		case OpScan:
 			fmt.Fprintf(&sb, "(%s)", x.Table)
+		case OpFilter:
+			if x.Filter != nil {
+				fmt.Fprintf(&sb, "(%s)", x.Filter.SQL(cname))
+			}
+		case OpSort:
+			parts := make([]string, len(x.Keys))
+			for i, k := range x.Keys {
+				parts[i] = fmt.Sprintf("c%d", k.Col)
+				if k.Desc {
+					parts[i] += " desc"
+				}
+			}
+			fmt.Fprintf(&sb, "(%s)", strings.Join(parts, ", "))
+		case OpLimit:
+			fmt.Fprintf(&sb, "(%d)", x.N)
+		case OpHashAgg, OpSortAgg:
+			parts := make([]string, 0, len(x.GroupCols)+len(x.Aggs))
+			for _, c := range x.GroupCols {
+				parts = append(parts, fmt.Sprintf("c%d", c))
+			}
+			for _, a := range x.Aggs {
+				parts = append(parts, a.SQL(cname))
+			}
+			fmt.Fprintf(&sb, "(%s)", strings.Join(parts, ", "))
 		}
 		fmt.Fprintf(&sb, "  rows=%.0f cost=%.1f\n", x.Rows, x.Cost)
 		for _, c := range x.Children {

@@ -1,6 +1,8 @@
 package rules
 
 import (
+	"fmt"
+
 	"qtrtest/internal/memo"
 	"qtrtest/internal/physical"
 )
@@ -34,6 +36,41 @@ func RegistryWith(extra ...Rule) *Registry {
 	}
 	for _, r := range ImplementationRules() {
 		all = append(all, r)
+	}
+	all = append(all, extra...)
+	return NewRegistry(all...)
+}
+
+// RegistryReplacing returns a registry holding the default rule set with each
+// rule in repl substituted in place (matched by ID), plus the extra rules
+// appended at the end. The substitute occupies the original rule's slot in
+// definition order, which matters because the implementor breaks equal-cost
+// ties by definition order: an interposed rule competes exactly as the
+// original did, while an appended one would lose every tie. This is the
+// interposition seam used by fault injection (internal/mutate) to shadow one
+// rule with a deliberately wrong variant. It panics if an ID in repl matches
+// no default rule, mirroring NewRegistry's handling of definition errors.
+func RegistryReplacing(repl map[ID]Rule, extra ...Rule) *Registry {
+	pending := make(map[ID]Rule, len(repl))
+	for id, r := range repl {
+		pending[id] = r
+	}
+	var all []Rule
+	add := func(r Rule) {
+		if sub, ok := pending[r.ID()]; ok {
+			delete(pending, r.ID())
+			r = sub
+		}
+		all = append(all, r)
+	}
+	for _, r := range ExplorationRules() {
+		add(r)
+	}
+	for _, r := range ImplementationRules() {
+		add(r)
+	}
+	for id := range pending {
+		panic(fmt.Sprintf("rules: RegistryReplacing: no default rule with id %d", id))
 	}
 	all = append(all, extra...)
 	return NewRegistry(all...)

@@ -40,6 +40,43 @@ func TestDefaultRegistryShape(t *testing.T) {
 	}
 }
 
+func TestRegistryReplacing(t *testing.T) {
+	def := DefaultRegistry().All()
+	orig := def[3]
+	er := orig.(ExplorationRule)
+	sub := NewExplorationRule(er.ID(), er.Name(), er.Pattern(), er.Apply)
+	extra := NewExplorationRule(800, "ExtraRule", er.Pattern(), er.Apply)
+
+	reg := RegistryReplacing(map[ID]Rule{er.ID(): sub}, extra)
+	all := reg.All()
+	if len(all) != len(def)+1 {
+		t.Fatalf("size = %d, want %d", len(all), len(def)+1)
+	}
+	for i, r := range def {
+		if all[i].ID() != r.ID() || all[i].Name() != r.Name() {
+			t.Errorf("slot %d: got %d (%s), want %d (%s)", i, all[i].ID(), all[i].Name(), r.ID(), r.Name())
+		}
+	}
+	// The substitute must occupy the original's slot, not be appended:
+	// definition order is the implementor's equal-cost tie-break.
+	if all[3] != Rule(sub) {
+		t.Errorf("slot 3 holds %T, want the substitute rule", all[3])
+	}
+	if all[len(all)-1].ID() != 800 {
+		t.Errorf("last rule = %d, want the appended extra (800)", all[len(all)-1].ID())
+	}
+}
+
+func TestRegistryReplacingPanicsOnUnknownID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on replacement for unknown rule id")
+		}
+	}()
+	er := ExplorationRules()[0]
+	RegistryReplacing(map[ID]Rule{9999: NewExplorationRule(9999, "Nope", er.Pattern(), er.Apply)})
+}
+
 func TestRegistryPanicsOnDuplicates(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -35,6 +35,7 @@ import (
 	"qtrtest/internal/exec"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/memo"
+	"qtrtest/internal/mutate"
 	"qtrtest/internal/opt"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/scalar"
@@ -187,6 +188,35 @@ func (db *DB) QueryDisabled(sqlText string, disabled ...RuleID) ([]Row, error) {
 // EqualResults reports whether two result sets are equal as multisets — the
 // correctness oracle of §2.3.
 func EqualResults(a, b []Row) bool { return exec.EqualMultisets(a, b) }
+
+// Mutation-testing surface: seeded rule faults that validate the
+// correctness oracle itself (see internal/mutate).
+type (
+	// Mutant is one injected rule fault.
+	Mutant = mutate.Mutant
+	// MutantKind names a fault family (e.g. flip-sort-dir).
+	MutantKind = mutate.Kind
+	// MutationConfig tunes a mutation campaign.
+	MutationConfig = mutate.Config
+	// MutationScore is a campaign's report: which algorithms' suites caught
+	// which injected faults.
+	MutationScore = mutate.Score
+)
+
+// Mutation-campaign helpers, re-exported from the mutate package.
+var (
+	// Mutants returns the shipped mutant catalog.
+	Mutants = mutate.Mutants
+	// MutantsByKind filters the catalog by fault kind.
+	MutantsByKind = mutate.ByKind
+)
+
+// MutationCampaign runs the full pipeline (generate, compress, execute,
+// compare) once per mutant against this database and reports the mutation
+// score per suite algorithm.
+func (db *DB) MutationCampaign(cfg MutationConfig) (*MutationScore, error) {
+	return mutate.Run(db.Catalog, cfg)
+}
 
 // RuleSetOf returns RuleSet(q): the rules exercised when optimizing the
 // query (§2.2).
