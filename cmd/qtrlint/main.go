@@ -1,0 +1,20 @@
+// Command qtrlint is the repository's vet tool: a go/analysis-style driver
+// for the custom determinism checks in internal/lint/analyzers. Run it
+// through the go command so every package (including test dependencies) is
+// typechecked and analyzed:
+//
+//	go build -o /tmp/qtrlint ./cmd/qtrlint
+//	go vet -vettool=/tmp/qtrlint ./...
+//
+// Suppress an intentional finding with a //qtrlint:allow <analyzer> <reason>
+// comment on the offending line or the line above it.
+package main
+
+import (
+	"qtrtest/internal/lint"
+	"qtrtest/internal/lint/analyzers"
+)
+
+func main() {
+	lint.Main(analyzers.All()...)
+}

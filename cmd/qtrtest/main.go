@@ -14,6 +14,7 @@
 //	qtrtest suite -n 10 -k 5 [-pairs] [-algo topk|smc|baseline|matching] [-validate]
 //	qtrtest interactions -n 8 [-per 3]
 //	qtrtest mutate [-k 4] [-targets 0] [-extra 0] [-kinds a,b] [-diff]
+//	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind]
 //
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
 // -workers (worker pool size for the parallel campaign engine; suites,
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -78,6 +80,8 @@ func main() {
 		err = cmdInteractions(db, rest, *seed)
 	case "mutate":
 		err = cmdMutate(db, rest, *seed, *workers)
+	case "check":
+		err = cmdCheck(db, rest)
 	default:
 		usage()
 	}
@@ -88,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check> [flags]")
 	os.Exit(2)
 }
 
@@ -337,6 +341,68 @@ func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int) error {
 		return err
 	}
 	score.Print(os.Stdout, *diff)
+	return nil
+}
+
+// cmdCheck runs the static rule/pattern linter (internal/rulecheck) over
+// the active registry — or over an XML ruleset export, or over a mutant's
+// registry as a self-test probe — and exits nonzero on findings.
+func cmdCheck(db *qtrtest.DB, args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	matrix := fs.Bool("matrix", false, "also print the composability feeds relation")
+	xmlFile := fs.String("xml", "", "check a ruleset XML export instead of the active registry")
+	mutant := fs.String("mutant", "", "check the registry of the given mutant kind instead (fault-injection self-test)")
+	fs.Parse(args)
+	if *xmlFile != "" && *mutant != "" {
+		return fmt.Errorf("check: -xml and -mutant are mutually exclusive")
+	}
+
+	var rep *qtrtest.CheckReport
+	switch {
+	case *xmlFile != "":
+		data, err := os.ReadFile(*xmlFile)
+		if err != nil {
+			return err
+		}
+		ex, err := qtrtest.ParseExportXML(data)
+		if err != nil {
+			return err
+		}
+		rep = qtrtest.CheckExportedRules(ex)
+	case *mutant != "":
+		ms, err := qtrtest.MutantsByKind(qtrtest.MutantKind(*mutant))
+		if err != nil {
+			return err
+		}
+		rep = qtrtest.CheckRules(ms[0].Registry())
+	default:
+		rep = qtrtest.CheckRules(db.Registry)
+	}
+
+	if *asJSON {
+		out := rep
+		if !*matrix {
+			out = &qtrtest.CheckReport{Diagnostics: rep.Diagnostics}
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, d := range rep.Diagnostics {
+			fmt.Println(d)
+		}
+		fmt.Printf("check: %d error(s), %d warning(s), %d info\n",
+			rep.Count(qtrtest.CheckError), rep.Count(qtrtest.CheckWarning), rep.Count(qtrtest.CheckInfo))
+		if *matrix && rep.Matrix != nil {
+			fmt.Print(rep.Matrix)
+		}
+	}
+	if rep.Failed() {
+		return fmt.Errorf("check: %d finding(s)", rep.Count(qtrtest.CheckError)+rep.Count(qtrtest.CheckWarning))
+	}
 	return nil
 }
 

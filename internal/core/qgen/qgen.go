@@ -153,6 +153,7 @@ func (g *Generator) tryTree(tree *logical.Expr, md *logical.Metadata, target []r
 // GenerateRandom is the RANDOM method: stochastic queries until one
 // exercises every rule in target.
 func (g *Generator) GenerateRandom(target []rules.ID) (*Query, error) {
+	//qtrlint:allow wallclock telemetry only: Elapsed reports generation latency, never influences the query produced
 	start := time.Now()
 	for trial := 1; trial <= g.cfg.MaxTrials; trial++ {
 		md := logical.NewMetadata(g.opt.Catalog())
@@ -202,6 +203,7 @@ func (g *Generator) GeneratePatternPair(a, b rules.ID) (*Query, error) {
 // generateFromPatterns rotates through candidate patterns, instantiating
 // each with fresh random arguments per trial.
 func (g *Generator) generateFromPatterns(target []rules.ID, candidates []*rules.Pattern) (*Query, error) {
+	//qtrlint:allow wallclock telemetry only: Elapsed reports generation latency, never influences the query produced
 	start := time.Now()
 	var best *Query
 	for trial := 1; trial <= g.cfg.MaxTrials; trial++ {

@@ -29,6 +29,7 @@ func (g *Generator) GenerateRelevant(id rules.ID) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	//qtrlint:allow wallclock telemetry only: Elapsed reports generation latency, never influences the query produced
 	start := time.Now()
 	for trial := 1; trial <= g.cfg.MaxTrials; trial++ {
 		md := logical.NewMetadata(g.opt.Catalog())
@@ -108,6 +109,7 @@ func (g *Generator) GenerateInteractionPair(r1, r2 rules.ID) (*Query, error) {
 	}
 	candidates = append(candidates, ComposePatterns(p1, p2)...)
 
+	//qtrlint:allow wallclock telemetry only: Elapsed reports generation latency, never influences the query produced
 	start := time.Now()
 	for trial := 1; trial <= g.cfg.MaxTrials; trial++ {
 		p := candidates[(trial-1)%len(candidates)]

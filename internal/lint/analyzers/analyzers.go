@@ -1,0 +1,294 @@
+// Package analyzers holds the repository's custom static checks, run under
+// `go vet -vettool` via cmd/qtrlint. They enforce the determinism
+// invariants the testing framework rests on: identical inputs must produce
+// identical plans, reports and registries, or the correctness oracle's
+// result comparisons and the experiment baselines stop being reproducible.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"qtrtest/internal/lint"
+)
+
+// resultAffecting lists the package-path prefixes where nondeterminism
+// taints results: the optimizer search, rule substitutions, execution, the
+// generation/compression core, and fault injection. Telemetry-only wall
+// clock reads inside them carry a //qtrlint:allow wallclock annotation.
+var resultAffecting = []string{
+	"qtrtest/internal/core",
+	"qtrtest/internal/rules",
+	"qtrtest/internal/opt",
+	"qtrtest/internal/exec",
+	"qtrtest/internal/mutate",
+}
+
+func isResultAffecting(pkgPath string) bool {
+	for _, p := range resultAffecting {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every analyzer, in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{Wallclock, GlobalRand, MapRange, CloseDefer}
+}
+
+// Wallclock flags time.Now in result-affecting packages. Plans, costs and
+// generated queries must be functions of (catalog, seed, rule set) alone;
+// a wall-clock read is either smuggled nondeterminism or telemetry, and
+// telemetry must say so with //qtrlint:allow wallclock <reason>.
+var Wallclock = &lint.Analyzer{
+	Name: "wallclock",
+	Doc:  "flag time.Now in result-affecting packages (telemetry needs an allow annotation)",
+	Run: func(pass *lint.Pass) {
+		if !isResultAffecting(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, sel := lint.PkgNameOf(pass.Info, call.Fun); pkg == "time" && sel == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now in result-affecting package %s; results must be deterministic — seed explicitly, or annotate telemetry with //qtrlint:allow wallclock <reason>",
+						pass.Pkg.Path())
+				}
+				return true
+			})
+		}
+	},
+}
+
+// globalRandOK lists math/rand package-level functions that do not touch
+// the global, unseeded source.
+var globalRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// GlobalRand flags calls to math/rand's package-level functions (which draw
+// from the shared unseeded source) in result-affecting packages. All
+// randomness there must flow through an explicitly seeded *rand.Rand.
+var GlobalRand = &lint.Analyzer{
+	Name: "globalrand",
+	Doc:  "flag unseeded global math/rand use in result-affecting packages",
+	Run: func(pass *lint.Pass) {
+		if !isResultAffecting(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, sel := lint.PkgNameOf(pass.Info, call.Fun)
+				if (pkg == "math/rand" || pkg == "math/rand/v2") && !globalRandOK[sel] {
+					pass.Reportf(call.Pos(),
+						"rand.%s uses the global unseeded source; draw from an explicitly seeded *rand.Rand instead", sel)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// MapRange flags for-range loops over maps whose bodies feed ordered sinks:
+// direct printing, writes to a builder/writer, or appends to an outer slice
+// that is never passed to a sort afterwards. Go randomizes map iteration
+// order, so such loops make output, reports and registries
+// nondeterministic. Collect-then-sort is the sanctioned pattern and is not
+// flagged.
+var MapRange = &lint.Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration feeding ordered output without an intervening sort",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		// Walk function by function so "sorted later" has a scope to search.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRanges(pass *lint.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Ordered sinks written directly inside the loop body.
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, sel := lint.PkgNameOf(pass.Info, call.Fun); pkg == "fmt" &&
+				(strings.HasPrefix(sel, "Print") || strings.HasPrefix(sel, "Fprint")) {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside map iteration emits in randomized order; collect into a slice and sort first", sel)
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isWriterMethod(pass, sel) {
+				pass.Reportf(call.Pos(),
+					"%s inside map iteration writes in randomized order; collect into a slice and sort first", sel.Sel.Name)
+			}
+			return true
+		})
+		// Appends to outer slices with no sort afterwards.
+		for _, obj := range outerAppendTargets(pass, rs) {
+			if !sortedLater(pass, fnBody, rs, obj) {
+				pass.Reportf(rs.Pos(),
+					"map iteration appends to %q in randomized order and nothing sorts it afterwards in this function; sort it or iterate sorted keys", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isWriterMethod reports whether the selector is a Write/WriteString-style
+// method call on some receiver (e.g. strings.Builder, io.Writer).
+func isWriterMethod(pass *lint.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+	default:
+		return false
+	}
+	// Method, not package-qualified function.
+	_, isPkg := pass.Info.Uses[identOf(sel.X)].(*types.PkgName)
+	return !isPkg
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// outerAppendTargets returns the objects of variables declared outside the
+// range loop that the loop body appends to.
+func outerAppendTargets(pass *lint.Pass, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		target := identOf(as.Lhs[0])
+		if target == nil {
+			return true
+		}
+		obj := pass.Info.ObjectOf(target)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedLater reports whether, after the range loop, the function passes
+// obj to anything in package sort or slices (sort.Slice(out, ...),
+// slices.Sort(out), ...).
+func sortedLater(pass *lint.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg, _ := lint.PkgNameOf(pass.Info, call.Fun)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// CloseDefer flags `defer x.Close()` when Close returns an error that the
+// defer silently drops. Either propagate it from a closure or acknowledge
+// the drop explicitly (`defer func() { _ = x.Close() }()`).
+var CloseDefer = &lint.Analyzer{
+	Name: "closedefer",
+	Doc:  "flag deferred Close() calls whose error is silently dropped",
+	Run: func(pass *lint.Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				def, ok := n.(*ast.DeferStmt)
+				if !ok {
+					return true
+				}
+				sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Close" {
+					return true
+				}
+				if _, isPkg := pass.Info.Uses[identOf(sel.X)].(*types.PkgName); isPkg {
+					return true
+				}
+				if sig, ok := pass.Info.TypeOf(def.Call.Fun).(*types.Signature); ok &&
+					returnsError(sig) {
+					pass.Reportf(def.Pos(),
+						"deferred Close() drops its error; use `defer func() { ... Close() ... }()` to capture or explicitly ignore it")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+// Package lint is a minimal go/analysis-style static-analysis framework:
+// analyzers inspect one typechecked package at a time and report position
+// diagnostics. It exists because the repository vendors no third-party
+// code; the package reimplements, on the standard library alone, the small
+// slice of golang.org/x/tools needed to run custom analyzers under
+// `go vet -vettool` (see unitchecker.go for the driver protocol).
+//
+// Analyzers honor suppression comments of the form
+//
+//	//qtrlint:allow <analyzer> <reason>
+//
+// placed on, or on the line before, the offending line. The reason is
+// mandatory: an unexplained suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one static check over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression comments.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, test files already excluded.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+	allow map[string][]suppression
+}
+
+// Report records a finding unless a suppression comment covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos: pos, Analyzer: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// suppression is one parsed //qtrlint:allow comment.
+type suppression struct {
+	analyzer string
+	pos      token.Pos
+	line     int
+	hasWhy   bool
+	used     *bool
+}
+
+// Run applies the analyzers to one typechecked package and returns the
+// diagnostics sorted by position. Suppression comments without a reason,
+// and suppressions that suppressed nothing, are reported as findings of the
+// pseudo-analyzer "allow".
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var kept []*ast.File
+	for _, f := range files {
+		if name := fset.Position(f.Package).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	var diags []Diagnostic
+	allow, allowDiags := collectSuppressions(fset, kept)
+	diags = append(diags, allowDiags...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: kept, Pkg: pkg, Info: info,
+			diags: &diags, allow: allow,
+		}
+		a.Run(pass)
+	}
+	// Iterate files in sorted order: map order would shuffle the
+	// unused-suppression findings from run to run.
+	var allowFiles []string
+	for fname := range allow {
+		allowFiles = append(allowFiles, fname)
+	}
+	sort.Strings(allowFiles)
+	for _, fname := range allowFiles {
+		for _, s := range allow[fname] {
+			// Reasonless suppressions were already reported above.
+			if !*s.used && s.hasWhy {
+				diags = append(diags, Diagnostic{
+					Pos: s.pos, Analyzer: "allow",
+					Message: fmt.Sprintf("suppression //qtrlint:allow %s suppresses nothing", s.analyzer),
+				})
+			}
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags
+}
+
+// collectSuppressions parses //qtrlint:allow comments. The key is the file
+// name; a suppression covers findings on its own line and the next line (so
+// it can ride above the offending statement).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[string][]suppression, []Diagnostic) {
+	out := make(map[string][]suppression)
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//qtrlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos: c.Pos(), Analyzer: "allow",
+						Message: "qtrlint:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s := suppression{
+					analyzer: fields[0], pos: c.Pos(), line: pos.Line,
+					hasWhy: len(fields) > 1, used: new(bool),
+				}
+				if !s.hasWhy {
+					diags = append(diags, Diagnostic{
+						Pos: c.Pos(), Analyzer: "allow",
+						Message: fmt.Sprintf("qtrlint:allow %s needs a reason", s.analyzer),
+					})
+				}
+				out[pos.Filename] = append(out[pos.Filename], s)
+			}
+		}
+	}
+	return out, diags
+}
+
+// suppressed reports whether a finding at pos is covered by a suppression
+// for this pass's analyzer, marking the suppression used.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for i := range p.allow[position.Filename] {
+		s := &p.allow[position.Filename][i]
+		if s.analyzer != p.Analyzer.Name || !s.hasWhy {
+			continue
+		}
+		if s.line == position.Line || s.line == position.Line-1 {
+			*s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// PkgNameOf returns the imported package path when e is a selector on a
+// package name (e.g. rand.Intn → "math/rand"), or "".
+func PkgNameOf(info *types.Info, e ast.Expr) (pkgPath, sel string) {
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := s.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), s.Sel.Name
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the vet driver protocol, so a binary built from
+// Main() works as `go vet -vettool=<binary>`. The protocol (read from
+// cmd/go/internal/work/exec.go and cmd/go/internal/vet/vetflag.go, the
+// authoritative source — it is deliberately unpublished):
+//
+//   - `tool -flags` prints a JSON array describing the tool's flags to
+//     stdout and exits 0; cmd/go uses it to decide which command-line flags
+//     to forward. This tool has none, so it prints [].
+//   - `tool -V=full` prints "<name> version devel buildID=<hex>" and exits
+//     0; cmd/go hashes the line into its action cache key.
+//   - `tool <dir>/vet.cfg` analyzes one package described by the JSON
+//     config: typecheck GoFiles against the export data in PackageFile,
+//     run the analyzers, print findings "file:line:col: message" to stderr
+//     and exit 2 if there were any, else write VetxOutput and exit 0.
+//   - VetxOnly configs ("facts only" runs for dependency packages) write
+//     VetxOutput and exit 0 without analyzing; these analyzers keep no
+//     cross-package facts, so the file is an empty placeholder.
+
+// config mirrors cmd/go's vetConfig (the subset this driver consumes).
+type config struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	GoVersion  string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary. It never returns.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) != 2 {
+		fmt.Fprintf(os.Stderr,
+			"%s: a vet driver; run via go vet -vettool=$(command -v %s) ./...\n",
+			progname, progname)
+		os.Exit(1)
+	}
+	switch arg := os.Args[1]; {
+	case arg == "-V=full":
+		// Hash the executable so rebuilding the tool invalidates go vet's
+		// result cache.
+		sum := selfHash()
+		fmt.Printf("%s version devel buildID=%x/%x\n", progname, sum, sum)
+		os.Exit(0)
+	case arg == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasSuffix(arg, ".cfg"):
+		run(arg, analyzers)
+	default:
+		fmt.Fprintf(os.Stderr, "%s: unexpected argument %q\n", progname, arg)
+		os.Exit(1)
+	}
+}
+
+func selfHash() []byte {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer func() { _ = f.Close() }()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return h.Sum(nil)[:16]
+			}
+		}
+	}
+	// Degrade to a fixed ID: caching is best-effort, analysis is not.
+	return []byte("qtrlint-unknown!")
+}
+
+func run(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %v", cfgFile, err))
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("qtrlint has no facts\n"), 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// The lookup argument is the canonical package path; the importer
+		// wrapper below already applied ImportMap.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: mapImporter{cfg.ImportMap, compilerImporter.(types.ImporterFrom)},
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatal(fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err))
+	}
+
+	diags := Run(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// mapImporter applies the config's source-path → canonical-path map before
+// delegating to the compiler export-data importer.
+type mapImporter struct {
+	importMap map[string]string
+	def       types.ImporterFrom
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m mapImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.def.ImportFrom(path, dir, mode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qtrlint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+package rulecheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"qtrtest/internal/rules"
+)
+
+// The static rule-pair composability matrix, computed from pattern shapes
+// alone (§3: pattern composition). For each ordered pair of exploration
+// rules (a, b) it records which composition constructions apply — the same
+// constructions the query generator uses to build a rule-pair query — and,
+// separately, whether a's declared output can feed b's pattern (the basis
+// of observed interactions). The dynamic side cross-validates both: every
+// pair the optimizer co-exercises on the TPC-H workload must be composable
+// here, and every observed interaction a→b must be explained by FeedsInto.
+
+// Mode is a bitmask of applicable composition constructions for an ordered
+// rule pair.
+type Mode uint8
+
+// The composition constructions, mirroring qgen.ComposePatterns.
+const (
+	// ComposeOverlap: some concrete subtree of a's pattern unifies with one
+	// of b's, so a single tree region can satisfy both patterns at once.
+	ComposeOverlap Mode = 1 << iota
+	// ComposeSubstitute: b's pattern substitutes into a generic placeholder
+	// of a's pattern, stacking b's shape beneath a's.
+	ComposeSubstitute
+	// ComposeJoinRoot: the two patterns combine as the children of a fresh
+	// Join root.
+	ComposeJoinRoot
+	// ComposeUnionRoot: the two patterns combine as the branches of a fresh
+	// UnionAll root.
+	ComposeUnionRoot
+)
+
+// String renders the set of constructions, e.g. "overlap|substitute".
+func (m Mode) String() string {
+	if m == 0 {
+		return "none"
+	}
+	var parts []string
+	if m&ComposeOverlap != 0 {
+		parts = append(parts, "overlap")
+	}
+	if m&ComposeSubstitute != 0 {
+		parts = append(parts, "substitute")
+	}
+	if m&ComposeJoinRoot != 0 {
+		parts = append(parts, "join-root")
+	}
+	if m&ComposeUnionRoot != 0 {
+		parts = append(parts, "union-root")
+	}
+	return strings.Join(parts, "|")
+}
+
+// Matrix is the composability matrix over a rule set's exploration rules.
+type Matrix struct {
+	// IDs lists the exploration rules covered, ascending.
+	IDs []rules.ID `json:"ids"`
+	// Modes maps an ordered pair [a, b] to the applicable constructions for
+	// composing b into/alongside a. Pairs with no applicable construction
+	// are present with mode 0, so lookups distinguish "incomposable" from
+	// "rule not covered".
+	Modes map[[2]rules.ID]Mode `json:"-"`
+	// Feeds maps [a, b] to whether some declared output shape of a overlaps
+	// b's pattern: firing a can create the match that lets b fire.
+	Feeds map[[2]rules.ID]bool `json:"-"`
+}
+
+// Composability computes the matrix from pattern shapes alone.
+func Composability(infos []RuleInfo) *Matrix {
+	var expl []RuleInfo
+	for _, ri := range infos {
+		if ri.Kind == rules.KindExploration && ri.Pattern != nil &&
+			rules.ValidatePattern(ri.Pattern) == nil {
+			expl = append(expl, ri)
+		}
+	}
+	if len(expl) == 0 {
+		return nil
+	}
+	sort.Slice(expl, func(i, j int) bool { return expl[i].ID < expl[j].ID })
+	m := &Matrix{
+		Modes: make(map[[2]rules.ID]Mode, len(expl)*len(expl)),
+		Feeds: make(map[[2]rules.ID]bool),
+	}
+	for _, ri := range expl {
+		m.IDs = append(m.IDs, ri.ID)
+	}
+	for _, a := range expl {
+		for _, b := range expl {
+			var mode Mode
+			if a.Pattern.Overlaps(b.Pattern) {
+				mode |= ComposeOverlap
+			}
+			if len(a.Pattern.Generics()) > 0 {
+				mode |= ComposeSubstitute
+			}
+			// The fresh-root constructions place both patterns under a new
+			// binary operator; they apply whenever both patterns exist,
+			// which the filter above already guarantees.
+			mode |= ComposeJoinRoot | ComposeUnionRoot
+			m.Modes[[2]rules.ID{a.ID, b.ID}] = mode
+			for _, p := range a.Produces {
+				if p != nil && rules.ValidatePattern(p) == nil && p.Overlaps(b.Pattern) {
+					m.Feeds[[2]rules.ID{a.ID, b.ID}] = true
+					break
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Composable reports whether any construction composes the ordered pair.
+// False is also returned for rules the matrix does not cover.
+func (m *Matrix) Composable(a, b rules.ID) bool {
+	return m != nil && m.Modes[[2]rules.ID{a, b}] != 0
+}
+
+// ModeOf returns the constructions applicable to the ordered pair.
+func (m *Matrix) ModeOf(a, b rules.ID) Mode {
+	if m == nil {
+		return 0
+	}
+	return m.Modes[[2]rules.ID{a, b}]
+}
+
+// FeedsInto reports whether a's declared output can create a match for b.
+func (m *Matrix) FeedsInto(a, b rules.ID) bool {
+	return m != nil && m.Feeds[[2]rules.ID{a, b}]
+}
+
+// matrixPair is the JSON wire form of one ordered-pair entry.
+type matrixPair struct {
+	A     rules.ID `json:"a"`
+	B     rules.ID `json:"b"`
+	Modes string   `json:"modes"`
+	Feeds bool     `json:"feeds,omitempty"`
+}
+
+// MarshalJSON renders the matrix with its pair maps expanded to a sorted
+// array (Go maps with array keys have no native JSON form).
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	var pairs []matrixPair
+	for _, a := range m.IDs {
+		for _, b := range m.IDs {
+			pairs = append(pairs, matrixPair{
+				A: a, B: b, Modes: m.ModeOf(a, b).String(), Feeds: m.FeedsInto(a, b),
+			})
+		}
+	}
+	return json.Marshal(struct {
+		IDs   []rules.ID   `json:"ids"`
+		Pairs []matrixPair `json:"pairs"`
+	}{m.IDs, pairs})
+}
+
+// String renders the feeds relation compactly, one source rule per line.
+func (m *Matrix) String() string {
+	if m == nil {
+		return "(no exploration rules)"
+	}
+	var sb strings.Builder
+	for _, a := range m.IDs {
+		var feeds []string
+		for _, b := range m.IDs {
+			if m.FeedsInto(a, b) {
+				feeds = append(feeds, fmt.Sprintf("%d", b))
+			}
+		}
+		fmt.Fprintf(&sb, "#%d feeds {%s}\n", a, strings.Join(feeds, ","))
+	}
+	return sb.String()
+}

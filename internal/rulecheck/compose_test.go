@@ -1,0 +1,89 @@
+package rulecheck
+
+import (
+	"testing"
+
+	"qtrtest/internal/rules"
+)
+
+func defaultMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	m := Composability(FromRegistry(rules.DefaultRegistry()))
+	if m == nil {
+		t.Fatal("nil matrix for default registry")
+	}
+	return m
+}
+
+// TestMatrixCoversExplorationRules: the matrix covers exactly the
+// exploration rules, in ascending ID order, with an entry for every ordered
+// pair.
+func TestMatrixCoversExplorationRules(t *testing.T) {
+	m := defaultMatrix(t)
+	reg := rules.DefaultRegistry()
+	want := 0
+	for _, r := range reg.All() {
+		if r.Kind() == rules.KindExploration {
+			want++
+		}
+	}
+	if len(m.IDs) != want {
+		t.Fatalf("matrix covers %d rules, registry has %d exploration rules", len(m.IDs), want)
+	}
+	for i := 1; i < len(m.IDs); i++ {
+		if m.IDs[i-1] >= m.IDs[i] {
+			t.Fatalf("IDs not ascending: %v", m.IDs)
+		}
+	}
+	if got, want := len(m.Modes), len(m.IDs)*len(m.IDs); got != want {
+		t.Fatalf("Modes has %d entries, want %d", got, want)
+	}
+}
+
+// TestMatrixProperties pins structural facts of the shipped rule set.
+func TestMatrixProperties(t *testing.T) {
+	m := defaultMatrix(t)
+	for _, a := range m.IDs {
+		for _, b := range m.IDs {
+			mode, rev := m.ModeOf(a, b), m.ModeOf(b, a)
+			// Overlap is symmetric by construction.
+			if mode&ComposeOverlap != rev&ComposeOverlap {
+				t.Fatalf("overlap not symmetric for (%d,%d)", a, b)
+			}
+			// Every built-in pattern has a generic slot and the fresh-root
+			// constructions always apply, so every pair is composable some
+			// way — the interesting signal is in the per-mode split and the
+			// feeds relation.
+			if mode == 0 {
+				t.Fatalf("pair (%d,%d) incomposable", a, b)
+			}
+		}
+	}
+	// JoinCommute (#1) produces Join(*,*), which its own pattern consumes:
+	// the canonical self-feeding rule.
+	if !m.FeedsInto(1, 1) {
+		t.Error("JoinCommute does not feed itself")
+	}
+	// SelectMerge (#4) produces Select(*); PushSelectBelowJoinLeft (#6)
+	// consumes Select(Join(*,*)) — a selection can sit over a join, so #4
+	// must feed #6.
+	if !m.FeedsInto(4, 6) {
+		t.Error("SelectMerge does not feed PushSelectBelowJoinLeft")
+	}
+	// The feeds relation must not be the trivial all-true relation: rules
+	// producing only join shapes cannot feed rules that require a UnionAll
+	// root anywhere in their pattern. JoinCommute (#1) produces Join(*,*)
+	// only; UnionAllDistribute... use GroupByUnionPull (#25's pattern
+	// consumes GroupBy(UnionAll(...))) — assert at least one pair is false.
+	allTrue := true
+	for _, a := range m.IDs {
+		for _, b := range m.IDs {
+			if !m.FeedsInto(a, b) {
+				allTrue = false
+			}
+		}
+	}
+	if allTrue {
+		t.Error("feeds relation is trivially all-true; overlap computation is broken")
+	}
+}

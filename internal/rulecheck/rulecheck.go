@@ -1,0 +1,443 @@
+// Package rulecheck is the static-analysis layer over the optimizer's rule
+// registry: a domain linter that checks rule definitions — patterns,
+// identifiers, declared output shapes — without optimizing a single query.
+// It complements the dynamic pipeline (generate → optimize → execute →
+// compare): the dynamic side detects rules whose substitutions are wrong,
+// the static side detects rule *sets* that are malformed, shadowed, opaque
+// to analysis, or mutated.
+//
+// The checks:
+//
+//   - pattern: every consumed and produced pattern is well-formed for the
+//     binder (known operators, exact arity, generic placeholders as leaves,
+//     concrete root). Registry construction enforces this too; the check
+//     exists for rule sets that arrive through the XML API (§3.1), which
+//     bypasses construction-time validation.
+//   - duplicate-id / duplicate-name: rule identifiers are unique.
+//   - pristine-band: no rule occupies the ID ≥ PristineIDOffset band that
+//     internal/mutate reserves for the pristine copies it appends when it
+//     replaces an implementation rule. A populated band means the registry
+//     under analysis is a mutated one, not the shipping rule set.
+//   - produces: every exploration rule declares its output shapes (the
+//     Producer interface); an undeclared rule is opaque to the termination
+//     and composability analyses. Declared shapes must bind their generic
+//     placeholders: a rule whose consumed pattern has no generic slots
+//     cannot produce a shape containing one (a free pattern variable).
+//   - dead-end: every declared output shape is consumed by some rule, so no
+//     substitution produces expressions the rule set can neither transform
+//     further nor implement.
+//   - termination: cycles in the produces/consumes graph (rule a's output
+//     shape overlaps rule b's pattern, and transitively back to a) are
+//     reported as info — the memo's expression deduplication is what
+//     guarantees exploration terminates, and the report makes the reliance
+//     visible.
+package rulecheck
+
+import (
+	"fmt"
+	"sort"
+
+	"qtrtest/internal/mutate"
+	"qtrtest/internal/rules"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, in increasing order of concern. Info never affects exit
+// status; Warning and Error do.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	default:
+		return "error"
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Check names the check that produced the finding (e.g. "pattern",
+	// "pristine-band").
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	// RuleID and RuleName identify the offending rule; RuleID is 0 for
+	// findings about the rule set as a whole.
+	RuleID   rules.ID `json:"rule_id,omitempty"`
+	RuleName string   `json:"rule_name,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// String renders the diagnostic one per line, lint style.
+func (d Diagnostic) String() string {
+	subject := "ruleset"
+	if d.RuleName != "" {
+		subject = fmt.Sprintf("%s(#%d)", d.RuleName, d.RuleID)
+	}
+	return fmt.Sprintf("%s: %s: %s: %s", d.Severity, d.Check, subject, d.Message)
+}
+
+// Report is the outcome of a check run.
+type Report struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Matrix is the static rule-pair composability matrix over the checked
+	// exploration rules (nil when the rule set has none).
+	Matrix *Matrix `json:"matrix,omitempty"`
+}
+
+// Count returns how many diagnostics have the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed reports whether the run should exit nonzero: any Warning or Error.
+// Info diagnostics (e.g. termination-cycle reports) never fail a run.
+func (r *Report) Failed() bool { return r.Count(Error) > 0 || r.Count(Warning) > 0 }
+
+// RuleInfo is the analyzer's view of one rule: plain data, so rule sets can
+// come from a live Registry, from an XML export, or be built by tests.
+type RuleInfo struct {
+	ID      rules.ID
+	Name    string
+	Kind    rules.Kind
+	Pattern *rules.Pattern
+	// Produces holds the declared output shapes (nil when the rule does not
+	// implement rules.Producer or declares none).
+	Produces []*rules.Pattern
+}
+
+// FromRegistry extracts the analyzer's view of a live registry.
+func FromRegistry(reg *rules.Registry) []RuleInfo {
+	out := make([]RuleInfo, 0, len(reg.All()))
+	for _, r := range reg.All() {
+		ri := RuleInfo{ID: r.ID(), Name: r.Name(), Kind: r.Kind(), Pattern: r.Pattern()}
+		if p, ok := r.(rules.Producer); ok {
+			ri.Produces = p.Produces()
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// FromExported extracts the analyzer's view of a parsed XML export. The XML
+// wire form does not carry produced shapes, so Produces is nil for every
+// rule.
+func FromExported(ex []rules.ExportedRule) []RuleInfo {
+	out := make([]RuleInfo, 0, len(ex))
+	for _, r := range ex {
+		out = append(out, RuleInfo{ID: r.ID, Name: r.Name, Kind: r.Kind, Pattern: r.Pattern})
+	}
+	return out
+}
+
+// Options tunes a check run.
+type Options struct {
+	// RequireProduces enables the warning for exploration rules that declare
+	// no output shapes. Disable it for XML-sourced rule sets, whose wire
+	// form cannot carry the declarations.
+	RequireProduces bool
+}
+
+// CheckRegistry runs every check against a live registry.
+func CheckRegistry(reg *rules.Registry) *Report {
+	return Check(FromRegistry(reg), Options{RequireProduces: true})
+}
+
+// CheckExported runs the checks applicable to an XML-sourced rule set.
+func CheckExported(ex []rules.ExportedRule) *Report {
+	return Check(FromExported(ex), Options{})
+}
+
+// Check runs every check over the rule set and returns the report. The
+// diagnostics are in deterministic order: checks run in a fixed sequence and
+// each walks the rules in slice order.
+func Check(infos []RuleInfo, opts Options) *Report {
+	rep := &Report{}
+	checkPatterns(infos, rep)
+	checkIdentifiers(infos, rep)
+	checkPristineBand(infos, rep)
+	checkProduces(infos, opts, rep)
+	checkDeadEnds(infos, rep)
+	checkTermination(infos, rep)
+	rep.Matrix = Composability(infos)
+	return rep
+}
+
+// checkPatterns validates every consumed and produced pattern.
+func checkPatterns(infos []RuleInfo, rep *Report) {
+	for _, ri := range infos {
+		if err := rules.ValidatePattern(ri.Pattern); err != nil {
+			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+				Check: "pattern", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+				Message: err.Error(),
+			})
+		}
+		for i, p := range ri.Produces {
+			if err := rules.ValidatePattern(p); err != nil {
+				rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+					Check: "pattern", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+					Message: fmt.Sprintf("produced shape %d: %v", i, err),
+				})
+			}
+		}
+	}
+}
+
+// checkIdentifiers flags duplicate rule IDs and names.
+func checkIdentifiers(infos []RuleInfo, rep *Report) {
+	byID := make(map[rules.ID]string)
+	byName := make(map[string]rules.ID)
+	for _, ri := range infos {
+		if prev, dup := byID[ri.ID]; dup {
+			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+				Check: "duplicate-id", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+				Message: fmt.Sprintf("rule id %d already used by %q", ri.ID, prev),
+			})
+		} else {
+			byID[ri.ID] = ri.Name
+		}
+		if prev, dup := byName[ri.Name]; dup {
+			rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+				Check: "duplicate-name", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+				Message: fmt.Sprintf("rule name %q already used by #%d", ri.Name, prev),
+			})
+		} else {
+			byName[ri.Name] = ri.ID
+		}
+	}
+}
+
+// checkPristineBand flags rules whose ID lies in the band internal/mutate
+// reserves for pristine shadow copies. A shipping registry never populates
+// the band: its presence is the static fingerprint of an
+// implementation-rule mutant (the mutated rule keeps the original ID and
+// slot; the pristine copy rides at ID+offset to keep Plan(q,¬R) plannable).
+func checkPristineBand(infos []RuleInfo, rep *Report) {
+	byID := make(map[rules.ID]RuleInfo, len(infos))
+	for _, ri := range infos {
+		byID[ri.ID] = ri
+	}
+	for _, ri := range infos {
+		if ri.ID < mutate.PristineIDOffset {
+			continue
+		}
+		msg := fmt.Sprintf("rule id %d is inside the pristine shadow band (ids ≥ %d are reserved for mutation fault injection)",
+			ri.ID, mutate.PristineIDOffset)
+		if base, ok := byID[ri.ID-mutate.PristineIDOffset]; ok {
+			msg += fmt.Sprintf("; shadows %s(#%d), whose in-slot definition is therefore a mutant",
+				base.Name, base.ID)
+		}
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Check: "pristine-band", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+			Message: msg,
+		})
+	}
+}
+
+// checkProduces flags exploration rules without declared output shapes
+// (opaque to the termination and composability analyses) and free pattern
+// variables: a produced shape with generic placeholders when the consumed
+// pattern binds none, so the placeholders stand for nothing.
+func checkProduces(infos []RuleInfo, opts Options, rep *Report) {
+	for _, ri := range infos {
+		if ri.Kind != rules.KindExploration {
+			continue
+		}
+		if len(ri.Produces) == 0 {
+			if opts.RequireProduces {
+				rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+					Check: "produces", Severity: Warning, RuleID: ri.ID, RuleName: ri.Name,
+					Message: "exploration rule declares no produced output shapes; termination and composability analysis cannot see through it (every built-in rule declares its shapes — an undeclared in-slot rule is a substituted one)",
+				})
+			}
+			continue
+		}
+		if ri.Pattern == nil || len(ri.Pattern.Generics()) > 0 {
+			continue
+		}
+		for i, p := range ri.Produces {
+			if p != nil && len(p.Generics()) > 0 {
+				rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+					Check: "produces", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+					Message: fmt.Sprintf("produced shape %d (%s) has free pattern variables: the consumed pattern %s binds no generic placeholders",
+						i, p, ri.Pattern),
+				})
+			}
+		}
+	}
+}
+
+// checkDeadEnds flags declared output shapes that no rule in the set can
+// consume: the substitution would produce expressions the optimizer can
+// neither transform further nor implement.
+func checkDeadEnds(infos []RuleInfo, rep *Report) {
+	for _, ri := range infos {
+		for i, p := range ri.Produces {
+			if p == nil || rules.ValidatePattern(p) != nil {
+				continue
+			}
+			consumed := false
+			for _, other := range infos {
+				if other.Pattern != nil && p.Overlaps(other.Pattern) {
+					consumed = true
+					break
+				}
+			}
+			if !consumed {
+				rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+					Check: "dead-end", Severity: Error, RuleID: ri.ID, RuleName: ri.Name,
+					Message: fmt.Sprintf("produced shape %d (%s) overlaps no rule's pattern: its expressions can never be transformed or implemented", i, p),
+				})
+			}
+		}
+	}
+}
+
+// checkTermination reports cycles in the produces/consumes graph: an edge
+// a→b whenever some declared output shape of a overlaps b's pattern, so b
+// can fire on a's substitutes. Cycles are expected in a Volcano-style rule
+// set (commutativity rules feed themselves) and termination rests on the
+// memo's expression deduplication, not on the graph being acyclic — the
+// check therefore reports each nontrivial strongly connected component as
+// info, making the reliance visible without failing the run.
+func checkTermination(infos []RuleInfo, rep *Report) {
+	expl := make([]RuleInfo, 0, len(infos))
+	for _, ri := range infos {
+		if ri.Kind == rules.KindExploration && len(ri.Produces) > 0 && ri.Pattern != nil {
+			expl = append(expl, ri)
+		}
+	}
+	n := len(expl)
+	if n == 0 {
+		return
+	}
+	adj := make([][]int, n)
+	for i, a := range expl {
+		for j, b := range expl {
+			for _, p := range a.Produces {
+				if p != nil && rules.ValidatePattern(p) == nil && p.Overlaps(b.Pattern) {
+					adj[i] = append(adj[i], j)
+					break
+				}
+			}
+		}
+	}
+	for _, scc := range stronglyConnected(adj) {
+		selfLoop := false
+		if len(scc) == 1 {
+			for _, j := range adj[scc[0]] {
+				if j == scc[0] {
+					selfLoop = true
+					break
+				}
+			}
+		}
+		if len(scc) == 1 && !selfLoop {
+			continue
+		}
+		names := make([]string, len(scc))
+		for k, i := range scc {
+			names[k] = fmt.Sprintf("%s(#%d)", expl[i].Name, expl[i].ID)
+		}
+		sort.Strings(names)
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Check: "termination", Severity: Info,
+			Message: fmt.Sprintf("produces/consumes cycle over %d rule(s): %v — exploration termination relies on memo deduplication, not rule-set acyclicity", len(scc), names),
+		})
+	}
+}
+
+// stronglyConnected returns the strongly connected components of the graph
+// (adjacency lists over node indices), each component's members sorted
+// ascending and the components ordered by smallest member. Iterative
+// Tarjan, so deep rule sets cannot overflow the goroutine stack.
+func stronglyConnected(adj [][]int) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		work := []frame{{start, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					work = append(work, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

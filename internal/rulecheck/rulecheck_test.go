@@ -1,0 +1,211 @@
+package rulecheck
+
+import (
+	"strings"
+	"testing"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/mutate"
+	"qtrtest/internal/rules"
+)
+
+// TestPristineRegistryClean is the baseline contract: the shipping rule set
+// produces no warnings or errors (info diagnostics, e.g. termination-cycle
+// reports, are allowed).
+func TestPristineRegistryClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		reg  *rules.Registry
+	}{
+		{"default", rules.DefaultRegistry()},
+		{"with-extensions", rules.RegistryWithExtensions()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := CheckRegistry(tc.reg)
+			for _, d := range rep.Diagnostics {
+				if d.Severity != Info {
+					t.Errorf("pristine registry flagged: %s", d)
+				}
+			}
+			if rep.Failed() {
+				t.Errorf("Failed() = true on pristine registry")
+			}
+		})
+	}
+}
+
+// TestPristineTerminationCycleReported asserts the info-level termination
+// report fires on the shipping rules: commutativity rules feed themselves,
+// so the produces/consumes graph must contain at least one cycle and the
+// checker must surface (not suppress) it.
+func TestPristineTerminationCycleReported(t *testing.T) {
+	rep := CheckRegistry(rules.DefaultRegistry())
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Check == "termination" && d.Severity == Info {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no termination cycle reported for the default registry; diagnostics: %v", rep.Diagnostics)
+	}
+}
+
+// TestEveryMutantRegistryFlagged: each shipped mutant leaves a static
+// fingerprint the checker catches. Implementation-rule mutants populate the
+// pristine ID band; exploration-rule mutants substitute a rule built
+// without produces declarations. The semantic fault itself (a dropped
+// conjunct, a flipped sort direction) is not statically visible — DESIGN.md
+// documents that — but the injection mechanism is.
+func TestEveryMutantRegistryFlagged(t *testing.T) {
+	wantCheck := map[mutate.Kind]string{
+		mutate.KindSwapJoinType:       "produces",
+		mutate.KindDupUnionBranch:     "produces",
+		mutate.KindDropFilterConjunct: "pristine-band",
+		mutate.KindDropJoinConjunct:   "pristine-band",
+		mutate.KindFlipSortDir:        "pristine-band",
+		mutate.KindLimitOffByOne:      "pristine-band",
+		mutate.KindWrongAgg:           "pristine-band",
+	}
+	muts := mutate.Mutants()
+	if len(muts) != len(wantCheck) {
+		t.Fatalf("mutant catalog has %d entries, test expects %d; update wantCheck", len(muts), len(wantCheck))
+	}
+	for _, m := range muts {
+		t.Run(string(m.Kind), func(t *testing.T) {
+			rep := CheckRegistry(m.Registry())
+			if !rep.Failed() {
+				t.Fatalf("mutant %s produced a clean report", m)
+			}
+			want := wantCheck[m.Kind]
+			found := false
+			for _, d := range rep.Diagnostics {
+				if d.Check == want && d.RuleID%mutate.PristineIDOffset == m.Rule%mutate.PristineIDOffset {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("mutant %s: no %q finding for rule #%d; got %v", m, want, m.Rule, rep.Diagnostics)
+			}
+		})
+	}
+}
+
+// TestExportedRoundTripClean: the XML-sourced view of the default registry
+// is clean too (produces declarations are not required there).
+func TestExportedRoundTripClean(t *testing.T) {
+	data, err := rules.DefaultRegistry().ExportXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := rules.ParseExportXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckExported(ex)
+	for _, d := range rep.Diagnostics {
+		if d.Severity != Info {
+			t.Errorf("exported registry flagged: %s", d)
+		}
+	}
+}
+
+// TestMalformedExportedPatterns: rule sets arriving via XML bypass registry
+// construction, so the pattern check must catch what NewRegistry would have
+// panicked on.
+func TestMalformedExportedPatterns(t *testing.T) {
+	ex := []rules.ExportedRule{
+		{ID: 1, Name: "GenericRoot", Kind: rules.KindExploration,
+			Pattern: rules.Any()},
+		{ID: 2, Name: "BadArity", Kind: rules.KindExploration,
+			Pattern: rules.P(logical.OpJoin, rules.Any())},
+		{ID: 3, Name: "GenericWithKids", Kind: rules.KindExploration,
+			Pattern: rules.P(logical.OpSelect, &rules.Pattern{
+				Op: logical.OpAny, Children: []*rules.Pattern{rules.Any()},
+			})},
+		{ID: 2, Name: "DupID", Kind: rules.KindExploration,
+			Pattern: rules.P(logical.OpSelect, rules.Any())},
+		{ID: 5, Name: "BadArity", Kind: rules.KindExploration,
+			Pattern: rules.P(logical.OpSelect, rules.Any())},
+	}
+	rep := CheckExported(ex)
+	counts := map[string]int{}
+	for _, d := range rep.Diagnostics {
+		if d.Severity == Error {
+			counts[d.Check]++
+		}
+	}
+	if counts["pattern"] != 3 {
+		t.Errorf("pattern errors = %d, want 3; diagnostics: %v", counts["pattern"], rep.Diagnostics)
+	}
+	if counts["duplicate-id"] != 1 || counts["duplicate-name"] != 1 {
+		t.Errorf("duplicate errors = %v, want one of each", counts)
+	}
+}
+
+// TestFreePatternVariable: a produced shape with a generic placeholder is an
+// error when the consumed pattern binds none.
+func TestFreePatternVariable(t *testing.T) {
+	infos := []RuleInfo{{
+		ID: 50, Name: "LeafRule", Kind: rules.KindExploration,
+		Pattern:  rules.P(logical.OpGet),
+		Produces: []*rules.Pattern{rules.P(logical.OpSelect, rules.Any())},
+	}, {
+		// Consumes Select(Get); keeps the produced shape from being a
+		// dead end.
+		ID: 51, Name: "Consumer", Kind: rules.KindExploration,
+		Pattern:  rules.P(logical.OpSelect, rules.Any()),
+		Produces: []*rules.Pattern{rules.P(logical.OpGet)},
+	}}
+	rep := Check(infos, Options{RequireProduces: true})
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Check == "produces" && d.Severity == Error && d.RuleID == 50 &&
+			strings.Contains(d.Message, "free pattern variable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no free-pattern-variable error; got %v", rep.Diagnostics)
+	}
+}
+
+// TestDeadEndProduction: an output shape no rule consumes is an error.
+func TestDeadEndProduction(t *testing.T) {
+	infos := []RuleInfo{{
+		ID: 60, Name: "SortsForNobody", Kind: rules.KindExploration,
+		Pattern:  rules.P(logical.OpSelect, rules.Any()),
+		Produces: []*rules.Pattern{rules.P(logical.OpSort, rules.Any())},
+	}}
+	rep := Check(infos, Options{RequireProduces: true})
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Check == "dead-end" && d.Severity == Error && d.RuleID == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no dead-end error; got %v", rep.Diagnostics)
+	}
+}
+
+// TestStronglyConnected pins the SCC decomposition on a known graph:
+// 0→1→2→0 is one component, 3→3 a self-loop, 4 isolated.
+func TestStronglyConnected(t *testing.T) {
+	adj := [][]int{{1}, {2}, {0}, {3}, nil}
+	comps := stronglyConnected(adj)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components %v, want 3", len(comps), comps)
+	}
+	want := [][]int{{0, 1, 2}, {3}, {4}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}

@@ -7,20 +7,58 @@ import (
 	"qtrtest/internal/physical"
 )
 
+// validateDefinition rejects malformed custom-rule definitions at
+// construction time, so a nil pattern or missing substitution fails where
+// the rule is defined rather than later inside the optimizer's binder.
+func validateDefinition(id ID, name string, pattern *Pattern, fnNil bool) {
+	if name == "" {
+		panic(fmt.Sprintf("rules: rule #%d has an empty name", id))
+	}
+	if fnNil {
+		panic(fmt.Sprintf("rules: rule %s(#%d) has a nil substitution function", name, id))
+	}
+	if err := ValidatePattern(pattern); err != nil {
+		panic(fmt.Sprintf("rules: rule %s(#%d): %v", name, id, err))
+	}
+}
+
 // NewExplorationRule builds a custom exploration rule. This is the
 // extensibility hook: downstream users (and the fault-injection examples)
-// can register additional rules alongside the built-in set.
+// can register additional rules alongside the built-in set. It panics on a
+// nil or malformed pattern and on a nil apply function. The returned rule
+// declares no produced shapes; use NewExplorationRuleProducing when the
+// static analyzer should see through the rule.
 func NewExplorationRule(id ID, name string, pattern *Pattern,
 	apply func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr) ExplorationRule {
+	validateDefinition(id, name, pattern, apply == nil)
 	return &explRule{
 		info:  info{id: id, name: name, kind: KindExploration, pattern: pattern},
 		apply: apply,
 	}
 }
 
-// NewImplementationRule builds a custom implementation rule.
+// NewExplorationRuleProducing is NewExplorationRule with declared output
+// shapes (see Producer): internal/rulecheck's termination and composability
+// analyses treat the rule like a built-in instead of flagging it opaque.
+func NewExplorationRuleProducing(id ID, name string, pattern *Pattern, produces []*Pattern,
+	apply func(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr) ExplorationRule {
+	validateDefinition(id, name, pattern, apply == nil)
+	for _, p := range produces {
+		if err := ValidatePattern(p); err != nil {
+			panic(fmt.Sprintf("rules: rule %s(#%d) produces: %v", name, id, err))
+		}
+	}
+	return &explRule{
+		info:  info{id: id, name: name, kind: KindExploration, pattern: pattern, produces: produces},
+		apply: apply,
+	}
+}
+
+// NewImplementationRule builds a custom implementation rule. It panics on a
+// nil or malformed pattern and on a nil implement function.
 func NewImplementationRule(id ID, name string, pattern *Pattern,
 	implement func(ctx *Context, e *memo.MExpr) []*physical.Expr) ImplementationRule {
+	validateDefinition(id, name, pattern, implement == nil)
 	return &implRule{
 		info: info{id: id, name: name, kind: KindImplementation, pattern: pattern},
 		impl: implement,

@@ -1,0 +1,114 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/physical"
+)
+
+func noopApply(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr { return nil }
+func noopImpl(ctx *Context, e *memo.MExpr) []*physical.Expr       { return nil }
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", wantSubstr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic = %v, want containing %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+// Rule definitions fail at construction, not later inside the optimizer's
+// binder: a bad custom rule panics the moment it is built.
+func TestNewExplorationRuleValidates(t *testing.T) {
+	mustPanic(t, "nil pattern", func() {
+		NewExplorationRule(901, "NilPattern", nil, noopApply)
+	})
+	mustPanic(t, "nil substitution function", func() {
+		NewExplorationRule(901, "NilApply", P(logical.OpSelect, Any()), nil)
+	})
+	mustPanic(t, "arity", func() {
+		NewExplorationRule(901, "BadArity", P(logical.OpJoin, Any()), noopApply)
+	})
+	mustPanic(t, "generic placeholder", func() {
+		NewExplorationRule(901, "GenericRoot", Any(), noopApply)
+	})
+	mustPanic(t, "empty name", func() {
+		NewExplorationRule(901, "", P(logical.OpSelect, Any()), noopApply)
+	})
+	// A well-formed definition constructs fine and declares no produces.
+	r := NewExplorationRule(901, "OK", P(logical.OpSelect, Any()), noopApply)
+	if ps := r.(Producer).Produces(); ps != nil {
+		t.Errorf("NewExplorationRule declared produces %v, want none", ps)
+	}
+}
+
+func TestNewImplementationRuleValidates(t *testing.T) {
+	mustPanic(t, "nil pattern", func() {
+		NewImplementationRule(902, "NilPattern", nil, noopImpl)
+	})
+	mustPanic(t, "nil substitution function", func() {
+		NewImplementationRule(902, "NilImpl", P(logical.OpSelect, Any()), nil)
+	})
+}
+
+func TestNewExplorationRuleProducingValidates(t *testing.T) {
+	mustPanic(t, "produces", func() {
+		NewExplorationRuleProducing(903, "BadProduces", P(logical.OpSelect, Any()),
+			[]*Pattern{P(logical.OpJoin, Any())}, noopApply)
+	})
+	r := NewExplorationRuleProducing(903, "OK", P(logical.OpSelect, Any()),
+		[]*Pattern{P(logical.OpSelect, Any())}, noopApply)
+	ps := r.(Producer).Produces()
+	if len(ps) != 1 || ps[0].String() != "Select(*)" {
+		t.Errorf("Produces() = %v, want [Select(*)]", ps)
+	}
+}
+
+// badPatternRule bypasses the constructors to hand NewRegistry a malformed
+// pattern directly — the registry must still reject it.
+type badPatternRule struct{ info }
+
+func TestNewRegistryValidatesPatterns(t *testing.T) {
+	mustPanic(t, "arity", func() {
+		NewRegistry(badPatternRule{info{
+			id: 904, name: "Smuggled", kind: KindExploration,
+			pattern: P(logical.OpJoin, Any()),
+		}})
+	})
+}
+
+func TestNewRegistryPanicsOnDuplicateName(t *testing.T) {
+	a := NewExplorationRule(905, "SameName", P(logical.OpSelect, Any()), noopApply)
+	b := NewExplorationRule(906, "SameName", P(logical.OpProject, Any()), noopApply)
+	mustPanic(t, "duplicate rule name", func() { NewRegistry(a, b) })
+}
+
+// TestBuiltinsDeclareProduces: every built-in exploration rule (core set
+// and extensions) declares its output shapes — the invariant the static
+// analyzer's missing-produces warning rests on.
+func TestBuiltinsDeclareProduces(t *testing.T) {
+	var all []ExplorationRule
+	all = append(all, ExplorationRules()...)
+	all = append(all, ExtensionRules()...)
+	for _, r := range all {
+		ps := r.(Producer).Produces()
+		if len(ps) == 0 {
+			t.Errorf("builtin rule %s(#%d) declares no produces", r.Name(), r.ID())
+			continue
+		}
+		for _, p := range ps {
+			if err := ValidatePattern(p); err != nil {
+				t.Errorf("rule %s(#%d) produces invalid shape %s: %v", r.Name(), r.ID(), p, err)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package rules
 
 import (
+	"fmt"
+
 	"qtrtest/internal/datum"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/memo"
@@ -19,11 +21,20 @@ func (r *explRule) Apply(ctx *Context, b *memo.BoundExpr) []*memo.BoundExpr {
 	return r.apply(ctx, b)
 }
 
-func expl(id ID, name string, pattern *Pattern, apply func(*Context, *memo.BoundExpr) []*memo.BoundExpr) ExplorationRule {
+func expl(id ID, name string, pattern *Pattern, apply func(*Context, *memo.BoundExpr) []*memo.BoundExpr) *explRule {
 	return &explRule{
 		info:  info{id: id, name: name, kind: KindExploration, pattern: pattern},
 		apply: apply,
 	}
+}
+
+// producing declares the rule's output shapes (see Producer). Declarations
+// are over-approximations checked statically: internal/rulecheck
+// cross-validates them against the optimizer's observed rule interactions,
+// so a substitute shape missing here is a test failure, not silent drift.
+func (r *explRule) producing(ps ...*Pattern) *explRule {
+	r.info.produces = ps
+	return r
 }
 
 // kidCols returns the output column set of a bound child.
@@ -111,9 +122,49 @@ func selectOver(b *memo.BoundExpr, conjuncts []scalar.Expr) *memo.BoundExpr {
 	return memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: scalar.MakeAnd(conjuncts)}, b)
 }
 
-// ExplorationRules returns the 30 exploration (logical) rules in ID order.
+// explProduces declares, per rule ID, the shapes the rule's substitution
+// can emit (see Producer). Where a rule wraps its output in a Select only
+// when leftover conjuncts exist, both the wrapped and unwrapped shapes are
+// listed. internal/rulecheck builds the termination graph from this table
+// and cross-validates it against observed rule interactions on the TPC-H
+// workload, so the table cannot silently drift from the substitutions.
+var explProduces = map[ID][]*Pattern{
+	1:  {P(logical.OpJoin, Any(), Any())},
+	2:  {P(logical.OpJoin, Any(), P(logical.OpJoin, Any(), Any()))},
+	3:  {P(logical.OpJoin, P(logical.OpJoin, Any(), Any()), Any())},
+	4:  {P(logical.OpSelect, Any())},
+	5:  {P(logical.OpJoin, Any(), Any())},
+	6:  {P(logical.OpJoin, P(logical.OpSelect, Any()), Any()), P(logical.OpSelect, P(logical.OpJoin, P(logical.OpSelect, Any()), Any()))},
+	7:  {P(logical.OpJoin, Any(), P(logical.OpSelect, Any())), P(logical.OpSelect, P(logical.OpJoin, Any(), P(logical.OpSelect, Any())))},
+	8:  {P(logical.OpLeftJoin, P(logical.OpSelect, Any()), Any()), P(logical.OpSelect, P(logical.OpLeftJoin, P(logical.OpSelect, Any()), Any()))},
+	9:  {P(logical.OpSelect, P(logical.OpJoin, Any(), Any()))},
+	10: {P(logical.OpProject, P(logical.OpSelect, Any()))},
+	11: {P(logical.OpProject, Any())},
+	12: {P(logical.OpGroupBy, P(logical.OpSelect, Any())), P(logical.OpSelect, P(logical.OpGroupBy, P(logical.OpSelect, Any())))},
+	13: {P(logical.OpUnionAll, P(logical.OpSelect, Any()), P(logical.OpSelect, Any()))},
+	14: {P(logical.OpProject, P(logical.OpJoin, P(logical.OpGroupBy, Any()), Any()))},
+	15: {P(logical.OpGroupBy, P(logical.OpJoin, Any(), Any()))},
+	16: {P(logical.OpGroupBy, P(logical.OpLeftJoin, Any(), Any()))},
+	17: {P(logical.OpLeftJoin, P(logical.OpJoin, Any(), Any()), Any())},
+	18: {P(logical.OpJoin, Any(), P(logical.OpLeftJoin, Any(), Any()))},
+	19: {P(logical.OpSemiJoin, P(logical.OpSelect, Any()), Any())},
+	20: {P(logical.OpAntiJoin, P(logical.OpSelect, Any()), Any())},
+	21: {P(logical.OpProject, P(logical.OpJoin, Any(), P(logical.OpGroupBy, Any())))},
+	22: {P(logical.OpProject, P(logical.OpSelect, P(logical.OpLeftJoin, Any(), P(logical.OpGroupBy, Any()))))},
+	23: {P(logical.OpUnionAll, Any(), Any())},
+	24: {P(logical.OpUnionAll, P(logical.OpProject, Any()), P(logical.OpProject, Any()))},
+	25: {P(logical.OpGroupBy, P(logical.OpUnionAll, P(logical.OpGroupBy, Any()), P(logical.OpGroupBy, Any())))},
+	26: {P(logical.OpProject, P(logical.OpJoin, P(logical.OpProject, Any()), Any()))},
+	27: {P(logical.OpProject, P(logical.OpJoin, Any(), P(logical.OpProject, Any())))},
+	28: {P(logical.OpSemiJoin, Any(), P(logical.OpProject, Any()))},
+	29: {P(logical.OpAntiJoin, Any(), P(logical.OpProject, Any()))},
+	30: {P(logical.OpSelect, P(logical.OpJoin, Any(), Any()))},
+}
+
+// ExplorationRules returns the 30 exploration (logical) rules in ID order,
+// each carrying its declared produced shapes from explProduces.
 func ExplorationRules() []ExplorationRule {
-	return []ExplorationRule{
+	rs := []*explRule{
 		// --- join reordering ------------------------------------------------
 
 		expl(1, "JoinCommute", P(logical.OpJoin, Any(), Any()),
@@ -539,6 +590,15 @@ func ExplorationRules() []ExplorationRule {
 				}
 			}),
 	}
+	out := make([]ExplorationRule, len(rs))
+	for i, r := range rs {
+		ps, ok := explProduces[r.id]
+		if !ok {
+			panic(fmt.Sprintf("rules: builtin exploration rule %s(#%d) has no produces declaration", r.name, r.id))
+		}
+		out[i] = r.producing(ps...)
+	}
+	return out
 }
 
 // pullGroupByAboveJoin implements rules 15/16: (GroupBy(a)) ⋈ b →

@@ -18,13 +18,14 @@ import (
 func ExtensionRules() []ExplorationRule {
 	return []ExplorationRule{
 		expl(31, "EliminateFKJoin", P(logical.OpProject, P(logical.OpJoin, Any(), Any())),
-			applyEliminateFKJoin),
+			applyEliminateFKJoin).producing(P(logical.OpProject, Any())),
 		expl(32, "EliminateFKSemiJoin", P(logical.OpSemiJoin, Any(), Any()),
-			applyEliminateFKSemiJoin),
+			applyEliminateFKSemiJoin).producing(P(logical.OpProject, Any())),
 		expl(33, "OrExpansion", P(logical.OpSelect, Any()),
-			applyOrExpansion),
+			applyOrExpansion).producing(
+			P(logical.OpUnionAll, P(logical.OpSelect, Any()), P(logical.OpSelect, Any()))),
 		expl(34, "SplitSelect", P(logical.OpSelect, Any()),
-			applySplitSelect),
+			applySplitSelect).producing(P(logical.OpSelect, P(logical.OpSelect, Any()))),
 	}
 }
 

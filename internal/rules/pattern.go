@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"fmt"
 	"strings"
 
 	"qtrtest/internal/logical"
@@ -110,6 +111,110 @@ func (p *Pattern) ContainedIn(e *logical.Expr) bool {
 		}
 	})
 	return found
+}
+
+// ValidatePattern checks that a pattern is well-formed for this engine:
+// non-nil, no nil children, every operator known, generic placeholders are
+// leaves, the root is concrete, and every concrete node carries exactly its
+// operator's arity in children. The arity requirement is what the binder
+// enforces (bindExpr rejects any child-count mismatch), so an under- or
+// over-specified pattern is not "looser" — it can never bind at all.
+func ValidatePattern(p *Pattern) error {
+	if p == nil {
+		return fmt.Errorf("nil pattern")
+	}
+	if p.IsGeneric() {
+		return fmt.Errorf("pattern root is a generic placeholder (matches nothing bindable)")
+	}
+	var walk func(x *Pattern) error
+	walk = func(x *Pattern) error {
+		if x == nil {
+			return fmt.Errorf("nil pattern node")
+		}
+		if x.Op < logical.OpAny || x.Op > logical.OpSort {
+			return fmt.Errorf("unknown operator %s in pattern", x.Op)
+		}
+		if x.IsGeneric() {
+			if len(x.Children) != 0 {
+				return fmt.Errorf("generic placeholder has %d children (must be a leaf)", len(x.Children))
+			}
+			return nil
+		}
+		if got, want := len(x.Children), x.Op.Arity(); got != want {
+			return fmt.Errorf("operator %s has %d pattern children, arity is %d", x.Op, got, want)
+		}
+		for _, c := range x.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(p)
+}
+
+// Unifies reports whether two patterns can describe the same tree: generic
+// placeholders unify with anything, concrete nodes unify when the operators
+// match and the children unify pairwise. Child lists of different lengths
+// unify on the common prefix (the shorter side leaves the rest
+// unconstrained), so under-specified patterns err toward unifying.
+func (p *Pattern) Unifies(q *Pattern) bool {
+	if p == nil || q == nil {
+		return true
+	}
+	if p.IsGeneric() || q.IsGeneric() {
+		return true
+	}
+	if p.Op != q.Op {
+		return false
+	}
+	n := len(p.Children)
+	if len(q.Children) < n {
+		n = len(q.Children)
+	}
+	for i := 0; i < n; i++ {
+		if !p.Children[i].Unifies(q.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes returns every node of the pattern in pre-order.
+func (p *Pattern) Nodes() []*Pattern {
+	var out []*Pattern
+	var walk func(x *Pattern)
+	walk = func(x *Pattern) {
+		out = append(out, x)
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// Overlaps reports whether some subtree of p and some subtree of q unify:
+// a single logical tree can then satisfy both patterns on overlapping
+// nodes. This is the static core of pattern composition (§3.2) — it
+// over-approximates "rule q can be exercised on an expression shaped like
+// p": if the substitution of one rule creates a tree matching p, a rule
+// whose pattern is q can bind somewhere on it only if Overlaps holds.
+func (p *Pattern) Overlaps(q *Pattern) bool {
+	for _, x := range p.Nodes() {
+		if x.IsGeneric() {
+			continue
+		}
+		for _, y := range q.Nodes() {
+			if y.IsGeneric() {
+				continue
+			}
+			if x.Unifies(y) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // maxBindings caps the number of bindings enumerated per (rule, expression)

@@ -57,6 +57,18 @@ type Rule interface {
 	Pattern() *Pattern
 }
 
+// Producer is implemented by rules that declare the shapes their
+// substitution produces. Like the input pattern, a produced pattern is a
+// necessary-condition over-approximation: every substitute the rule emits
+// matches one of the declared shapes, but a declared shape does not imply
+// the rule ever emits it. The static analyzer (internal/rulecheck) builds
+// the rule-produces-pattern / rule-consumes-pattern graph from these
+// declarations; every built-in exploration rule declares its shapes.
+type Producer interface {
+	// Produces returns the output shapes, or nil when undeclared.
+	Produces() []*Pattern
+}
+
 // ExplorationRule transforms logical expressions into equivalent logical
 // expressions.
 type ExplorationRule interface {
@@ -79,17 +91,19 @@ type ImplementationRule interface {
 
 // info supplies the boilerplate part of a rule.
 type info struct {
-	id      ID
-	name    string
-	kind    Kind
-	pattern *Pattern
+	id       ID
+	name     string
+	kind     Kind
+	pattern  *Pattern
+	produces []*Pattern
 }
 
-func (i info) ID() ID            { return i.id }
-func (i info) Name() string      { return i.name }
-func (i info) Kind() Kind        { return i.kind }
-func (i info) Pattern() *Pattern { return i.pattern }
-func (i info) String() string    { return fmt.Sprintf("%s(#%d)", i.name, i.id) }
+func (i info) ID() ID               { return i.id }
+func (i info) Name() string         { return i.name }
+func (i info) Kind() Kind           { return i.kind }
+func (i info) Pattern() *Pattern    { return i.pattern }
+func (i info) Produces() []*Pattern { return i.produces }
+func (i info) String() string       { return fmt.Sprintf("%s(#%d)", i.name, i.id) }
 
 // Set is a set of rule IDs, used for disabled sets and RuleSet(q).
 type Set map[ID]bool
@@ -139,8 +153,10 @@ type Registry struct {
 }
 
 // NewRegistry returns a registry with the given rules; it panics on
-// duplicate IDs or names, which indicates a programming error in rule
-// definitions.
+// duplicate IDs or names and on nil or malformed patterns, which indicate a
+// programming error in rule definitions. Validating here means a bad rule
+// fails at registry construction rather than later, mid-optimization, when
+// the binder first walks its pattern.
 func NewRegistry(rs ...Rule) *Registry {
 	reg := &Registry{byID: make(map[ID]Rule), byName: make(map[string]Rule)}
 	for _, r := range rs {
@@ -149,6 +165,9 @@ func NewRegistry(rs ...Rule) *Registry {
 		}
 		if _, dup := reg.byName[r.Name()]; dup {
 			panic(fmt.Sprintf("rules: duplicate rule name %q", r.Name()))
+		}
+		if err := ValidatePattern(r.Pattern()); err != nil {
+			panic(fmt.Sprintf("rules: rule %s(#%d): %v", r.Name(), r.ID(), err))
 		}
 		reg.all = append(reg.all, r)
 		reg.byID[r.ID()] = r

@@ -37,6 +37,7 @@ import (
 	"qtrtest/internal/memo"
 	"qtrtest/internal/mutate"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/rulecheck"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/scalar"
 )
@@ -52,6 +53,8 @@ type (
 	RuleID = rules.ID
 	// RuleSet is a set of rule IDs.
 	RuleSet = rules.Set
+	// RuleKind distinguishes exploration from implementation rules.
+	RuleKind = rules.Kind
 	// Registry is the optimizer's rule set R.
 	Registry = rules.Registry
 	// Pattern is a rule pattern tree.
@@ -107,6 +110,9 @@ type (
 var (
 	// NewExplorationRule defines a logical→logical rule.
 	NewExplorationRule = rules.NewExplorationRule
+	// NewExplorationRuleProducing additionally declares the rule's output
+	// shapes, so the static analyzer can see through it.
+	NewExplorationRuleProducing = rules.NewExplorationRuleProducing
 	// RegistryWith extends the default registry with custom rules.
 	RegistryWith = rules.RegistryWith
 	// RegistryWithExtensions adds the schema-dependent extension rules
@@ -268,6 +274,54 @@ func NewRuleSet(ids ...RuleID) RuleSet { return rules.NewSet(ids...) }
 // PatternXML serializes one rule pattern to its XML wire form (the API of
 // §3.1).
 func PatternXML(p *Pattern) ([]byte, error) { return rules.PatternXML(p) }
+
+// Static-analysis surface (internal/rulecheck): the domain linter behind
+// `qtrtest check`, runnable in-process against any registry or XML export.
+type (
+	// CheckReport is a static-analysis run's outcome: diagnostics plus the
+	// rule-pair composability matrix.
+	CheckReport = rulecheck.Report
+	// CheckDiagnostic is one static-analysis finding.
+	CheckDiagnostic = rulecheck.Diagnostic
+	// CheckSeverity grades a finding (info, warning, error).
+	CheckSeverity = rulecheck.Severity
+	// ComposabilityMatrix records, per ordered exploration-rule pair, the
+	// applicable §3 composition constructions and the produces→consumes
+	// feeds relation.
+	ComposabilityMatrix = rulecheck.Matrix
+	// ExportedRule is one rule parsed back from the XML export API.
+	ExportedRule = rules.ExportedRule
+)
+
+// Rule kinds.
+const (
+	KindExploration    = rules.KindExploration
+	KindImplementation = rules.KindImplementation
+)
+
+// Check severities.
+const (
+	CheckInfo    = rulecheck.Info
+	CheckWarning = rulecheck.Warning
+	CheckError   = rulecheck.Error
+)
+
+// Static-analysis helpers, re-exported from the rulecheck package.
+var (
+	// CheckRules runs every static check against a live registry.
+	CheckRules = rulecheck.CheckRegistry
+	// CheckExportedRules runs the checks applicable to an XML-sourced rule
+	// set.
+	CheckExportedRules = rulecheck.CheckExported
+	// ParseExportXML parses a registry export produced by Registry.ExportXML.
+	ParseExportXML = rules.ParseExportXML
+)
+
+// RuleComposability computes the static rule-pair composability matrix of a
+// registry's exploration rules from pattern shapes alone.
+func RuleComposability(reg *Registry) *ComposabilityMatrix {
+	return rulecheck.Composability(rulecheck.FromRegistry(reg))
+}
 
 // SingletonTargets wraps each rule as one target.
 func SingletonTargets(ids []RuleID) []Target { return suite.SingletonTargets(ids) }

@@ -1,0 +1,94 @@
+package qtrtest_test
+
+import (
+	"testing"
+
+	"qtrtest"
+)
+
+// These tests cross-validate the static composability matrix against the
+// optimizer's dynamic behavior on the TPC-H workload. The matrix is
+// computed from pattern shapes alone; the optimizer probes actual rule
+// applicability. Two containment properties must hold, and a disagreement
+// is a test failure, not a statistic:
+//
+//  1. Co-exercise ⇒ composable: if RuleSet(q) exercises exploration rules
+//     a and b on the same query, the matrix must say the pair composes
+//     some way — otherwise the matrix under-approximates and the query
+//     generator would wrongly skip the pair.
+//  2. Interaction ⇒ feeds: if the optimizer observed a→b (b fired on an
+//     expression a created), some declared output shape of a must overlap
+//     b's pattern — otherwise a rule's Produces() declaration is wrong.
+
+// explorationPairs runs the workload and collects, per query, the
+// co-exercised exploration-rule pairs and the observed interactions.
+func explorationPairs(t *testing.T, db *qtrtest.DB) (co, inter map[[2]qtrtest.RuleID]bool) {
+	t.Helper()
+	isExpl := make(map[qtrtest.RuleID]bool)
+	for _, r := range db.Registry.All() {
+		if r.Kind() == qtrtest.KindExploration {
+			isExpl[r.ID()] = true
+		}
+	}
+	co = make(map[[2]qtrtest.RuleID]bool)
+	inter = make(map[[2]qtrtest.RuleID]bool)
+	for _, q := range workload {
+		res, err := db.Optimize(q.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", q.name, err)
+		}
+		exercised := res.RuleSet.Sorted()
+		for _, a := range exercised {
+			if !isExpl[a] {
+				continue
+			}
+			for _, b := range exercised {
+				if isExpl[b] {
+					co[[2]qtrtest.RuleID{a, b}] = true
+				}
+			}
+		}
+		for pair := range res.Interactions {
+			inter[pair] = true
+		}
+	}
+	return co, inter
+}
+
+// TestMatrixAgreesWithRuleSetProbing: property 1, plus a sanity floor on
+// how much of the workload's dynamic behavior the test actually saw.
+func TestMatrixAgreesWithRuleSetProbing(t *testing.T) {
+	db := qtrtest.OpenTPCH(1.0, 42)
+	matrix := qtrtest.RuleComposability(db.Registry)
+	if matrix == nil {
+		t.Fatal("nil composability matrix")
+	}
+	co, _ := explorationPairs(t, db)
+	if len(co) < 10 {
+		t.Fatalf("workload co-exercised only %d exploration-rule pairs; probe too weak to validate anything", len(co))
+	}
+	for pair := range co {
+		if !matrix.Composable(pair[0], pair[1]) {
+			t.Errorf("rules #%d and #%d co-exercised on TPC-H but matrix says incomposable (mode=%s)",
+				pair[0], pair[1], matrix.ModeOf(pair[0], pair[1]))
+		}
+	}
+}
+
+// TestInteractionsAgreeWithFeeds: property 2 — every dynamically observed
+// creator→fired interaction must be explained by the static feeds relation
+// built from Produces() declarations.
+func TestInteractionsAgreeWithFeeds(t *testing.T) {
+	db := qtrtest.OpenTPCH(1.0, 42)
+	matrix := qtrtest.RuleComposability(db.Registry)
+	_, inter := explorationPairs(t, db)
+	if len(inter) == 0 {
+		t.Fatal("workload observed no rule interactions; probe too weak to validate anything")
+	}
+	for pair := range inter {
+		if !matrix.FeedsInto(pair[0], pair[1]) {
+			t.Errorf("optimizer observed interaction #%d→#%d on TPC-H but no declared output shape of #%d overlaps #%d's pattern",
+				pair[0], pair[1], pair[0], pair[1])
+		}
+	}
+}
