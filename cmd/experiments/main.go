@@ -20,7 +20,12 @@ import (
 	"time"
 
 	"qtrtest/internal/experiments"
+	"qtrtest/internal/prof"
 )
+
+// profSession is the active -cpuprofile/-memprofile session; exitOn flushes
+// it so profiles survive an error exit.
+var profSession *prof.Session
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to run (8-15); 0 runs all")
@@ -29,7 +34,13 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "TPC-H row scale")
 	trials := flag.Int("trials", 256, "max generation trials per target")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker pool size (figure series are identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	var perr error
+	profSession, perr = prof.Start(*cpuprofile, *memprofile)
+	exitOn(perr)
 
 	cfg := experiments.Config{Seed: *seed, ScaleRows: *scale, Quick: *quick, MaxTrials: *trials, Workers: *workers}
 	r := experiments.NewRunner(cfg)
@@ -87,10 +98,14 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+	exitOn(profSession.Stop())
 }
 
 func exitOn(err error) {
 	if err != nil {
+		if perr := profSession.Stop(); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

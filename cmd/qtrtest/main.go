@@ -15,10 +15,12 @@
 //	qtrtest interactions -n 8 [-per 3]
 //	qtrtest mutate [-k 4] [-targets 0] [-extra 0] [-kinds a,b] [-diff]
 //	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind]
+//	qtrtest bench [-o BENCH_optimizer.json] [-campaign=false]
 //
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
 // -workers (worker pool size for the parallel campaign engine; suites,
-// solutions and validation reports are identical for every value).
+// solutions and validation reports are identical for every value),
+// -cpuprofile/-memprofile (write pprof profiles for the run).
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"strings"
 
 	"qtrtest"
+	"qtrtest/internal/prof"
 )
 
 func main() {
@@ -39,6 +42,8 @@ func main() {
 	schema := flag.String("db", "tpch", "test database: tpch or star")
 	ext := flag.Bool("ext", false, "enable the schema-dependent extension rules (31-34)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for suite generation/compression/execution (results are identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -57,8 +62,13 @@ func main() {
 	if *ext {
 		db = qtrtest.Open(db.Catalog, qtrtest.RegistryWithExtensions())
 	}
+	profile, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qtrtest:", err)
+		os.Exit(1)
+	}
 	cmd, rest := args[0], args[1:]
-	var err error
+	unknown := false
 	switch cmd {
 	case "rules":
 		err = cmdRules(db)
@@ -82,7 +92,15 @@ func main() {
 		err = cmdMutate(db, rest, *seed, *workers)
 	case "check":
 		err = cmdCheck(db, rest)
+	case "bench":
+		err = cmdBench(db, rest)
 	default:
+		unknown = true
+	}
+	if perr := profile.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if unknown {
 		usage()
 	}
 	if err != nil {
@@ -92,7 +110,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|bench> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,59 @@
+package fnv64
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+)
+
+// TestMatchesStdlib: the streaming hasher must agree with hash/fnv byte for
+// byte, so fingerprints are the standard FNV-1a function of the mixed bytes.
+func TestMatchesStdlib(t *testing.T) {
+	ref := fnv.New64a()
+	ref.Write([]byte("hello"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], 42)
+	ref.Write(buf[:])
+	ref.Write([]byte{7})
+
+	h := New()
+	h.String("hello")
+	h.Uint64(42)
+	h.Byte(7)
+	if h.Sum() != ref.Sum64() {
+		t.Errorf("Sum = %#x, stdlib = %#x", h.Sum(), ref.Sum64())
+	}
+}
+
+func TestIntSignedDistinct(t *testing.T) {
+	a, b := New(), New()
+	a.Int(-1)
+	b.Int(1)
+	if a.Sum() == b.Sum() {
+		t.Error("-1 and 1 hash equal")
+	}
+}
+
+func TestBoolAndFloat(t *testing.T) {
+	a, b := New(), New()
+	a.Bool(true)
+	b.Bool(false)
+	if a.Sum() == b.Sum() {
+		t.Error("true and false hash equal")
+	}
+	c, d := New(), New()
+	c.Float(1.5)
+	d.Float(2.5)
+	if c.Sum() == d.Sum() {
+		t.Error("distinct floats hash equal")
+	}
+}
+
+func TestOrderSensitive(t *testing.T) {
+	a, b := New(), New()
+	a.String("ab")
+	b.String("ba")
+	if a.Sum() == b.Sum() {
+		t.Error("hash is order-insensitive")
+	}
+}

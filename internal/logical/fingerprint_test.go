@@ -1,0 +1,208 @@
+package logical
+
+import (
+	"math/rand"
+	"testing"
+
+	"qtrtest/internal/datum"
+	"qtrtest/internal/fnv64"
+	"qtrtest/internal/scalar"
+)
+
+// payloadGen builds random operator payloads (children are irrelevant to
+// fingerprints) from a seeded RNG, covering every operator and scalar form.
+type payloadGen struct{ rng *rand.Rand }
+
+func (g *payloadGen) col() scalar.ColumnID { return scalar.ColumnID(1 + g.rng.Intn(8)) }
+
+func (g *payloadGen) datum() datum.Datum {
+	switch g.rng.Intn(5) {
+	case 0:
+		return datum.NewInt(int64(g.rng.Intn(100) - 50))
+	case 1:
+		return datum.NewFloat(float64(g.rng.Intn(100)) / 4)
+	case 2:
+		return datum.NewString(string(rune('a' + g.rng.Intn(4))))
+	case 3:
+		return datum.NewBool(g.rng.Intn(2) == 0)
+	default:
+		return datum.Null
+	}
+}
+
+func (g *payloadGen) scalarExpr(depth int) scalar.Expr {
+	if depth <= 0 {
+		if g.rng.Intn(2) == 0 {
+			return &scalar.ColRef{ID: g.col()}
+		}
+		return &scalar.Const{D: g.datum()}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return &scalar.Cmp{Op: scalar.CmpOp(g.rng.Intn(6)), L: g.scalarExpr(depth - 1), R: g.scalarExpr(depth - 1)}
+	case 1:
+		return &scalar.Arith{Op: scalar.ArithOp(g.rng.Intn(3)), L: g.scalarExpr(depth - 1), R: g.scalarExpr(depth - 1)}
+	case 2:
+		kids := make([]scalar.Expr, g.rng.Intn(3))
+		for i := range kids {
+			kids[i] = g.scalarExpr(depth - 1)
+		}
+		return &scalar.And{Kids: kids}
+	case 3:
+		kids := make([]scalar.Expr, 1+g.rng.Intn(2))
+		for i := range kids {
+			kids[i] = g.scalarExpr(depth - 1)
+		}
+		return &scalar.Or{Kids: kids}
+	case 4:
+		return &scalar.Not{Kid: g.scalarExpr(depth - 1)}
+	default:
+		return &scalar.IsNull{Kid: g.scalarExpr(depth - 1)}
+	}
+}
+
+func (g *payloadGen) cols(n int) []scalar.ColumnID {
+	out := make([]scalar.ColumnID, n)
+	for i := range out {
+		out[i] = g.col()
+	}
+	return out
+}
+
+func (g *payloadGen) node() *Expr {
+	ops := []Op{OpGet, OpSelect, OpProject, OpJoin, OpLeftJoin, OpSemiJoin,
+		OpAntiJoin, OpGroupBy, OpUnionAll, OpLimit, OpSort}
+	e := &Expr{Op: ops[g.rng.Intn(len(ops))]}
+	switch e.Op {
+	case OpGet:
+		e.Table = []string{"t", "u", "v"}[g.rng.Intn(3)]
+		e.Cols = g.cols(1 + g.rng.Intn(3))
+	case OpSelect:
+		e.Filter = g.scalarExpr(2)
+	case OpJoin, OpLeftJoin, OpSemiJoin, OpAntiJoin:
+		e.On = g.scalarExpr(2)
+	case OpProject:
+		e.Projs = make([]ProjItem, 1+g.rng.Intn(3))
+		for i := range e.Projs {
+			e.Projs[i] = ProjItem{Out: g.col(), E: g.scalarExpr(1)}
+		}
+	case OpGroupBy:
+		e.GroupCols = g.cols(g.rng.Intn(3))
+		e.Aggs = make([]scalar.Agg, 1+g.rng.Intn(2))
+		for i := range e.Aggs {
+			op := scalar.AggOp(g.rng.Intn(3))
+			a := scalar.Agg{Op: op, Out: g.col()}
+			if op != scalar.AggCountStar {
+				a.Arg = &scalar.ColRef{ID: g.col()}
+			}
+			e.Aggs[i] = a
+		}
+	case OpUnionAll:
+		n := 1 + g.rng.Intn(3)
+		e.OutCols = g.cols(n)
+		e.InputCols = [][]scalar.ColumnID{g.cols(n), g.cols(n)}
+	case OpLimit:
+		e.N = int64(g.rng.Intn(50))
+	case OpSort:
+		e.Keys = make([]SortKey, 1+g.rng.Intn(3))
+		for i := range e.Keys {
+			e.Keys[i] = SortKey{Col: g.col(), Desc: g.rng.Intn(2) == 0}
+		}
+	}
+	return e
+}
+
+func fingerprintOf(e *Expr) uint64 {
+	h := fnv64.New()
+	e.PayloadFingerprint(&h)
+	return h.Sum()
+}
+
+// TestFingerprintProperties checks, over a deterministic random corpus, the
+// three properties the memo's interning table rests on:
+//
+//  1. structurally equal payloads (node vs. deep clone) fingerprint equal
+//     and compare PayloadEqual;
+//  2. fingerprints and PayloadEqual agree with the legacy PayloadHash
+//     string the intern table used before the overhaul: payloads with equal
+//     strings are PayloadEqual with equal fingerprints;
+//  3. payloads with distinct strings are never PayloadEqual — and, for this
+//     corpus, fingerprint distinctly (the seed is fixed, so this is a
+//     regression check, not a probabilistic claim).
+func TestFingerprintProperties(t *testing.T) {
+	g := &payloadGen{rng: rand.New(rand.NewSource(7))}
+	const n = 400
+	nodes := make([]*Expr, n)
+	for i := range nodes {
+		nodes[i] = g.node()
+	}
+
+	for i, e := range nodes {
+		c := e.Clone()
+		if !e.PayloadEqual(c) {
+			t.Fatalf("node %d: clone not PayloadEqual:\n%s", i, e)
+		}
+		if fingerprintOf(e) != fingerprintOf(c) {
+			t.Fatalf("node %d: clone fingerprint differs:\n%s", i, e)
+		}
+	}
+
+	byHash := make(map[string][]*Expr)
+	for _, e := range nodes {
+		byHash[e.PayloadHash()] = append(byHash[e.PayloadHash()], e)
+	}
+	byFP := make(map[uint64]string)
+	for hash, group := range byHash {
+		for _, e := range group {
+			if !group[0].PayloadEqual(e) || fingerprintOf(group[0]) != fingerprintOf(e) {
+				t.Fatalf("payloads with equal hash %q disagree on PayloadEqual/fingerprint", hash)
+			}
+		}
+		fp := fingerprintOf(group[0])
+		if prev, dup := byFP[fp]; dup {
+			t.Fatalf("fingerprint collision between distinct payloads %q and %q", prev, hash)
+		}
+		byFP[fp] = hash
+	}
+	reps := make([]*Expr, 0, len(byHash))
+	for _, group := range byHash {
+		reps = append(reps, group[0])
+	}
+	for i := range reps {
+		for j := i + 1; j < len(reps); j++ {
+			if reps[i].PayloadEqual(reps[j]) {
+				t.Fatalf("distinct-hash payloads compare PayloadEqual:\n%s\nvs\n%s", reps[i], reps[j])
+			}
+		}
+	}
+	if len(byHash) < n/4 {
+		t.Fatalf("corpus degenerate: only %d distinct payloads of %d", len(byHash), n)
+	}
+}
+
+// TestFingerprintTreeEquality lifts property 1 to whole trees the way the
+// memo consumes fingerprints: equal trees interned bottom-up must meet at
+// every level.
+func TestFingerprintTreeEquality(t *testing.T) {
+	g := &payloadGen{rng: rand.New(rand.NewSource(11))}
+	leaf := func() *Expr {
+		return &Expr{Op: OpGet, Table: "t", Cols: []scalar.ColumnID{1, 2}}
+	}
+	for i := 0; i < 50; i++ {
+		filter := g.scalarExpr(2)
+		tree := &Expr{Op: OpSelect, Filter: filter, Children: []*Expr{
+			{Op: OpJoin, On: g.scalarExpr(1), Children: []*Expr{leaf(), leaf()}},
+		}}
+		c := tree.Clone()
+		var walk func(a, b *Expr)
+		walk = func(a, b *Expr) {
+			if fingerprintOf(a) != fingerprintOf(b) || !a.PayloadEqual(b) {
+				t.Fatalf("iteration %d: subtree payloads diverge:\n%s\nvs\n%s", i, a, b)
+			}
+			for k := range a.Children {
+				walk(a.Children[k], b.Children[k])
+			}
+		}
+		walk(tree, c)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"qtrtest/internal/fnv64"
 	"qtrtest/internal/scalar"
 )
 
@@ -261,6 +262,129 @@ func (e *Expr) PayloadHashInto(sb *strings.Builder) {
 			sb.WriteByte(',')
 		}
 	}
+}
+
+// PayloadFingerprint mixes the operator's own arguments (not its children)
+// into h: the numeric analogue of PayloadHashInto, used by the memo's
+// fingerprint interning table. PayloadEqual(a, b) implies identical
+// fingerprints; the converse can fail on hash collisions, which the memo
+// resolves with a PayloadEqual check per bucket entry.
+func (e *Expr) PayloadFingerprint(h *fnv64.Hash) {
+	h.Int(int64(e.Op))
+	switch e.Op {
+	case OpGet:
+		h.String(e.Table)
+		fingerprintCols(h, e.Cols)
+	case OpSelect:
+		scalar.FingerprintInto(e.Filter, h)
+	case OpJoin, OpLeftJoin, OpSemiJoin, OpAntiJoin:
+		scalar.FingerprintInto(e.On, h)
+	case OpProject:
+		h.Int(int64(len(e.Projs)))
+		for _, p := range e.Projs {
+			h.Int(int64(p.Out))
+			scalar.FingerprintInto(p.E, h)
+		}
+	case OpGroupBy:
+		fingerprintCols(h, e.GroupCols)
+		h.Int(int64(len(e.Aggs)))
+		for _, a := range e.Aggs {
+			a.FingerprintInto(h)
+		}
+	case OpUnionAll:
+		fingerprintCols(h, e.OutCols)
+		h.Int(int64(len(e.InputCols)))
+		for _, in := range e.InputCols {
+			fingerprintCols(h, in)
+		}
+	case OpLimit:
+		h.Int(e.N)
+	case OpSort:
+		h.Int(int64(len(e.Keys)))
+		for _, k := range e.Keys {
+			h.Int(int64(k.Col))
+			h.Bool(k.Desc)
+		}
+	}
+}
+
+func fingerprintCols(h *fnv64.Hash, cols []scalar.ColumnID) {
+	h.Int(int64(len(cols)))
+	for _, c := range cols {
+		h.Int(int64(c))
+	}
+}
+
+// PayloadEqual reports whether two nodes carry the same operator and
+// payload arguments, ignoring children — the collision-proof equality the
+// memo's interning table rests on.
+func (e *Expr) PayloadEqual(o *Expr) bool {
+	if e.Op != o.Op {
+		return false
+	}
+	switch e.Op {
+	case OpGet:
+		return e.Table == o.Table && colsEqual(e.Cols, o.Cols)
+	case OpSelect:
+		return scalar.Equal(e.Filter, o.Filter)
+	case OpJoin, OpLeftJoin, OpSemiJoin, OpAntiJoin:
+		return scalar.Equal(e.On, o.On)
+	case OpProject:
+		if len(e.Projs) != len(o.Projs) {
+			return false
+		}
+		for i, p := range e.Projs {
+			if p.Out != o.Projs[i].Out || !scalar.Equal(p.E, o.Projs[i].E) {
+				return false
+			}
+		}
+		return true
+	case OpGroupBy:
+		if !colsEqual(e.GroupCols, o.GroupCols) || len(e.Aggs) != len(o.Aggs) {
+			return false
+		}
+		for i, a := range e.Aggs {
+			if !a.Equal(o.Aggs[i]) {
+				return false
+			}
+		}
+		return true
+	case OpUnionAll:
+		if !colsEqual(e.OutCols, o.OutCols) || len(e.InputCols) != len(o.InputCols) {
+			return false
+		}
+		for i, in := range e.InputCols {
+			if !colsEqual(in, o.InputCols[i]) {
+				return false
+			}
+		}
+		return true
+	case OpLimit:
+		return e.N == o.N
+	case OpSort:
+		if len(e.Keys) != len(o.Keys) {
+			return false
+		}
+		for i, k := range e.Keys {
+			if k != o.Keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func colsEqual(a, b []scalar.ColumnID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Hash fingerprints the whole tree.

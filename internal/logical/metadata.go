@@ -47,6 +47,18 @@ func (m *Metadata) Clone() *Metadata {
 	return &Metadata{cols: cols, cat: m.cat, tables: m.tables}
 }
 
+// CowClone returns a copy-on-write clone in O(1): the clone shares the
+// base's column table for reads, and its capacity is clipped so the first
+// AddColumn reallocates onto a private array instead of writing into shared
+// memory. The optimizer uses this instead of Clone on its hot path — most
+// Optimize calls (every RuleSet probe and Plan(q,¬R) edge costing) never
+// synthesize a column, so they never pay for a copy, while the ones that do
+// stay exactly as race-free and schedule-independent as before: concurrent
+// clones of one base only ever read the shared prefix.
+func (m *Metadata) CowClone() *Metadata {
+	return &Metadata{cols: m.cols[:len(m.cols):len(m.cols)], cat: m.cat, tables: m.tables}
+}
+
 // AddColumn allocates a fresh ColumnID.
 func (m *Metadata) AddColumn(meta ColumnMeta) scalar.ColumnID {
 	m.cols = append(m.cols, meta)

@@ -6,9 +6,9 @@ package memo
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
+	"qtrtest/internal/fnv64"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/scalar"
 )
@@ -19,15 +19,28 @@ type GroupID int
 // MExpr is a logical expression inside the memo: an operator payload plus
 // child group references.
 type MExpr struct {
-	// Node carries the operator and its arguments; Node.Children is unused.
+	// Node carries the operator and its arguments. Children must be ignored:
+	// for expressions interned from an original query tree it still points at
+	// that tree's nodes (the memo no longer pays a defensive payload clone
+	// per insert), and logical trees are immutable by convention.
 	Node *logical.Expr
 	// Kids are the child groups, in operator order.
 	Kids []GroupID
 	// Group is the group this expression belongs to.
 	Group GroupID
-	// Applied records rules already fired on this expression, keyed by rule
-	// ID, so each (rule, expression) pair fires at most once.
-	Applied map[int]bool
+	// Ord is the expression's index within its group: (Group, Ord) is the
+	// deterministic scan position the dirty-queue explorer orders its
+	// worklist by.
+	Ord int
+	// applied records rules already fired on this expression, so each
+	// (rule, expression) pair fires at most once. Rule IDs 1..64 live in the
+	// bitmask (exploration rule IDs are small); anything larger overflows
+	// into the slice. The common case never allocates.
+	applied    uint64
+	appliedBig []int32
+	// internNext chains expressions whose fingerprints share an intern
+	// bucket (see Memo.intern).
+	internNext *MExpr
 	// CreatedBy is the ID of the rule whose substitution created this
 	// expression, or 0 for expressions of the original query tree. It
 	// powers rule-interaction tracking (§7): rule r2 exercised on an
@@ -38,6 +51,28 @@ type MExpr struct {
 // Op returns the operator of the expression.
 func (e *MExpr) Op() logical.Op { return e.Node.Op }
 
+// WasApplied reports whether the rule already fired on this expression.
+func (e *MExpr) WasApplied(ruleID int) bool {
+	if ruleID >= 1 && ruleID <= 64 {
+		return e.applied&(1<<uint(ruleID-1)) != 0
+	}
+	for _, id := range e.appliedBig {
+		if id == int32(ruleID) {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkApplied records that the rule fired on this expression.
+func (e *MExpr) MarkApplied(ruleID int) {
+	if ruleID >= 1 && ruleID <= 64 {
+		e.applied |= 1 << uint(ruleID-1)
+		return
+	}
+	e.appliedBig = append(e.appliedBig, int32(ruleID))
+}
+
 // Group is a set of logically equivalent expressions with shared logical
 // properties.
 type Group struct {
@@ -45,22 +80,45 @@ type Group struct {
 	Exprs []*MExpr
 	// Cols is the set of columns every expression in the group produces.
 	Cols scalar.ColSet
+	// leafRef caches the group's leaf BoundExpr for the binder (see LeafRef).
+	leafRef *BoundExpr
 }
 
 // Memo holds groups and the interning table.
 type Memo struct {
 	MD     *logical.Metadata
 	groups []*Group
-	intern map[string]*MExpr
+	// intern maps a structural fingerprint of (payload, kids) to the
+	// expressions in that hash bucket, chained through MExpr.internNext so a
+	// bucket costs no slice allocation. Correctness never depends on hash
+	// quality: lookups always confirm with a full PayloadEqual + kids check,
+	// so a collision merely shares a bucket, never conflates expressions.
+	intern map[uint64]*MExpr
 	nexprs int
 	// Root is the group representing the whole query.
 	Root GroupID
+	// onAdd, when set, observes every newly interned expression; the
+	// dirty-queue explorer uses it to invalidate parent expressions.
+	onAdd func(e *MExpr)
+	// fingerprint computes the interning hash; tests override it to force
+	// bucket collisions.
+	fingerprint func(node *logical.Expr, kids []GroupID) uint64
 }
 
 // New returns an empty memo over the given metadata.
 func New(md *logical.Metadata) *Memo {
-	return &Memo{MD: md, intern: make(map[string]*MExpr)}
+	return &Memo{
+		MD:          md,
+		groups:      make([]*Group, 0, 32),
+		intern:      make(map[uint64]*MExpr, 64),
+		fingerprint: exprFingerprint,
+	}
 }
+
+// SetOnAdd registers fn to be called for every newly interned expression
+// (nil unregisters). The optimizer's explorer uses this to maintain its
+// dirty worklist.
+func (m *Memo) SetOnAdd(fn func(e *MExpr)) { m.onAdd = fn }
 
 // NumGroups returns the number of groups.
 func (m *Memo) NumGroups() int { return len(m.groups) }
@@ -76,22 +134,49 @@ func (m *Memo) Group(id GroupID) *Group {
 // Groups returns all groups in creation order.
 func (m *Memo) Groups() []*Group { return m.groups }
 
-func exprKey(node *logical.Expr, kids []GroupID) string {
-	var sb strings.Builder
-	node.PayloadHashInto(&sb)
+// exprFingerprint hashes an expression's payload and child groups into the
+// uint64 interning key.
+func exprFingerprint(node *logical.Expr, kids []GroupID) uint64 {
+	h := fnv64.New()
+	node.PayloadFingerprint(&h)
 	for _, k := range kids {
-		sb.WriteByte('@')
-		var buf [20]byte
-		sb.Write(strconv.AppendInt(buf[:0], int64(k), 10))
+		h.Int(int64(k))
 	}
-	return sb.String()
+	return h.Sum()
 }
 
-// payloadOnly strips children from a logical node, keeping arguments.
+// lookup returns the interned expression structurally equal to (node, kids),
+// or nil. fp must be m.fingerprint(node, kids).
+func (m *Memo) lookup(fp uint64, node *logical.Expr, kids []GroupID) *MExpr {
+	for e := m.intern[fp]; e != nil; e = e.internNext {
+		if kidsEqual(e.Kids, kids) && e.Node.PayloadEqual(node) {
+			return e
+		}
+	}
+	return nil
+}
+
+func kidsEqual(a, b []GroupID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// payloadOnly strips children from a logical node, keeping arguments. The
+// copy is shallow: payload slices are shared with the original, which is safe
+// because logical nodes are immutable by convention (nothing in the codebase
+// writes to a payload after construction) and a full Clone per substitute
+// dominated the old interning profile.
 func payloadOnly(node *logical.Expr) *logical.Expr {
-	cp := node.Clone()
+	cp := *node
 	cp.Children = nil
-	return cp
+	return &cp
 }
 
 // colSetOf computes the group column set for a node given its kid groups.
@@ -139,15 +224,26 @@ func (m *Memo) newGroup(node *logical.Expr, kids []GroupID) *Group {
 // DIFFERENT group, nothing is added (the memo does not merge groups; see
 // DESIGN.md) and added=false.
 func (m *Memo) addExpr(node *logical.Expr, kids []GroupID, g *Group, createdBy int) (*MExpr, bool) {
-	key := exprKey(node, kids)
-	if existing, ok := m.intern[key]; ok {
+	fp := m.fingerprint(node, kids)
+	if existing := m.lookup(fp, node, kids); existing != nil {
 		return existing, false
 	}
-	e := &MExpr{Node: payloadOnly(node), Kids: kids, Group: g.ID, Applied: make(map[int]bool), CreatedBy: createdBy}
+	return m.addInterned(fp, node, kids, g, createdBy), true
+}
+
+// addInterned appends a known-novel expression to its group and the intern
+// table. The caller must have established that no structurally equal
+// expression exists (via lookup with the same fp).
+func (m *Memo) addInterned(fp uint64, node *logical.Expr, kids []GroupID, g *Group, createdBy int) *MExpr {
+	e := &MExpr{Node: node, Kids: kids, Group: g.ID, Ord: len(g.Exprs), CreatedBy: createdBy}
 	g.Exprs = append(g.Exprs, e)
-	m.intern[key] = e
+	e.internNext = m.intern[fp]
+	m.intern[fp] = e
 	m.nexprs++
-	return e, true
+	if m.onAdd != nil {
+		m.onAdd(e)
+	}
+	return e
 }
 
 // Insert interns a complete logical tree, creating groups bottom-up, and
@@ -158,12 +254,12 @@ func (m *Memo) Insert(tree *logical.Expr) GroupID {
 	for i, c := range tree.Children {
 		kids[i] = m.Insert(c)
 	}
-	key := exprKey(tree, kids)
-	if existing, ok := m.intern[key]; ok {
+	fp := m.fingerprint(tree, kids)
+	if existing := m.lookup(fp, tree, kids); existing != nil {
 		return existing.Group
 	}
 	g := m.newGroup(tree, kids)
-	m.addExpr(tree, kids, g, 0)
+	m.addInterned(fp, tree, kids, g, 0)
 	return g.ID
 }
 
@@ -191,9 +287,41 @@ type BoundExpr struct {
 // GroupRef returns a leaf BoundExpr referencing group g.
 func GroupRef(g GroupID) *BoundExpr { return &BoundExpr{Group: g} }
 
-// NewBound returns a substitute node over kids.
+// LeafRef returns a cached leaf BoundExpr referencing group g. The binder
+// uses it on its hot path instead of GroupRef; callers share the returned
+// node and must treat it as immutable (all BoundExpr trees are read-only
+// after construction).
+func (m *Memo) LeafRef(g GroupID) *BoundExpr {
+	grp := m.Group(g)
+	if grp.leafRef == nil {
+		grp.leafRef = &BoundExpr{Group: g}
+	}
+	return grp.leafRef
+}
+
+// NewBound returns a substitute node over kids. A node that carries children
+// (a matched original-tree node) has its payload copied with children
+// stripped; an already-childless node — the common case, rules building
+// fresh payload nodes — is shared as-is, relying on the same immutability
+// convention the rest of the memo rests on.
+//
+// kids are copied into storage co-allocated with the BoundExpr (operator
+// arity never exceeds 2), which also lets callers' variadic slices stay on
+// their stacks: the parameter never escapes.
 func NewBound(node *logical.Expr, kids ...*BoundExpr) *BoundExpr {
-	return &BoundExpr{Node: payloadOnly(node), Kids: kids}
+	if len(kids) > 2 {
+		panic("memo: NewBound with more than 2 kids")
+	}
+	if node.Children != nil {
+		node = payloadOnly(node)
+	}
+	buf := &struct {
+		b    BoundExpr
+		kids [2]*BoundExpr
+	}{b: BoundExpr{Node: node}}
+	copy(buf.kids[:], kids)
+	buf.b.Kids = buf.kids[:len(kids):len(kids)]
+	return &buf.b
 }
 
 // IsLeaf reports whether b is a pure group reference.
@@ -223,12 +351,12 @@ func (m *Memo) ensureGroup(b *BoundExpr, createdBy int) GroupID {
 	for i, k := range b.Kids {
 		kids[i] = m.ensureGroup(k, createdBy)
 	}
-	key := exprKey(b.Node, kids)
-	if existing, ok := m.intern[key]; ok {
+	fp := m.fingerprint(b.Node, kids)
+	if existing := m.lookup(fp, b.Node, kids); existing != nil {
 		return existing.Group
 	}
 	g := m.newGroup(b.Node, kids)
-	m.addExpr(b.Node, kids, g, createdBy)
+	m.addInterned(fp, b.Node, kids, g, createdBy)
 	return g.ID
 }
 
@@ -260,7 +388,7 @@ func (m *Memo) InsertSubstituteFrom(b *BoundExpr, target GroupID, createdBy int)
 // of each group, for debugging and for tests.
 func (m *Memo) ExtractFirst(g GroupID) *logical.Expr {
 	e := m.Group(g).Exprs[0]
-	node := e.Node.Clone()
+	node := payloadOnly(e.Node)
 	node.Children = make([]*logical.Expr, len(e.Kids))
 	for i, k := range e.Kids {
 		node.Children[i] = m.ExtractFirst(k)

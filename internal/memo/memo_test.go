@@ -146,6 +146,103 @@ func TestGroupColsPerOp(t *testing.T) {
 	}
 }
 
+// TestForcedCollisionsStayCorrect pins that interning correctness never
+// depends on fingerprint quality: with the fingerprint function degraded to a
+// constant, every expression lands in one bucket and only the structural
+// equality fallback tells them apart. All interning behavior — dedup of
+// identical subtrees, distinct groups for distinct payloads, substitute
+// dedup — must be unchanged.
+func TestForcedCollisionsStayCorrect(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	m := New(md)
+	m.fingerprint = func(*logical.Expr, []GroupID) uint64 { return 0 }
+
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r}, On: scalar.TrueExpr()}
+	root := m.Insert(join)
+	if m.NumGroups() != 3 || m.NumExprs() != 3 {
+		t.Fatalf("got %d groups / %d exprs, want 3 / 3", m.NumGroups(), m.NumExprs())
+	}
+	// Re-inserting the identical tree finds every level in the single bucket.
+	if g := m.Insert(join.Clone()); g != root {
+		t.Errorf("re-insert landed in group %d, want %d", g, root)
+	}
+	if m.NumExprs() != 3 {
+		t.Errorf("re-insert added expressions: %d", m.NumExprs())
+	}
+	// A commuted join is structurally different and must not be conflated
+	// with the original despite the identical fingerprint.
+	e := m.Group(root).Exprs[0]
+	sub := NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.TrueExpr()},
+		GroupRef(e.Kids[1]), GroupRef(e.Kids[0]))
+	if !m.InsertSubstitute(sub, root) {
+		t.Fatal("commuted substitute should be recognized as new")
+	}
+	if m.InsertSubstitute(sub, root) {
+		t.Error("repeated substitute should dedup inside the collision bucket")
+	}
+	if got := len(m.Group(root).Exprs); got != 2 {
+		t.Errorf("join group has %d exprs, want 2", got)
+	}
+}
+
+// TestOrdTracksGroupPosition pins the Ord invariant the dirty-queue explorer
+// orders its worklist by: Ord is the expression's index within its group.
+func TestOrdTracksGroupPosition(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r}, On: scalar.TrueExpr()}
+	m := New(md)
+	root := m.Insert(join)
+	e := m.Group(root).Exprs[0]
+	sub := NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.TrueExpr()},
+		GroupRef(e.Kids[1]), GroupRef(e.Kids[0]))
+	m.InsertSubstitute(sub, root)
+	for _, g := range m.Groups() {
+		for i, e := range g.Exprs {
+			if e.Ord != i {
+				t.Errorf("group %d expr %d has Ord %d", g.ID, i, e.Ord)
+			}
+			if e.Group != g.ID {
+				t.Errorf("group %d expr %d has Group %d", g.ID, i, e.Group)
+			}
+		}
+	}
+}
+
+// TestOnAddHookObservesEveryExpr pins the contract the explorer depends on:
+// the hook fires exactly once per interned expression, never for dedup hits.
+func TestOnAddHookObservesEveryExpr(t *testing.T) {
+	md := newMD(t)
+	r := scan(t, md, "region")
+	n := scan(t, md, "nation")
+	m := New(md)
+	var seen []*MExpr
+	m.SetOnAdd(func(e *MExpr) { seen = append(seen, e) })
+
+	join := &logical.Expr{Op: logical.OpJoin, Children: []*logical.Expr{n, r}, On: scalar.TrueExpr()}
+	root := m.Insert(join)
+	if len(seen) != 3 {
+		t.Fatalf("hook fired %d times for initial insert, want 3", len(seen))
+	}
+	m.Insert(join.Clone()) // full dedup: no new expressions
+	if len(seen) != 3 {
+		t.Errorf("hook fired on dedup hit")
+	}
+	e := m.Group(root).Exprs[0]
+	sub := NewBound(&logical.Expr{Op: logical.OpJoin, On: scalar.TrueExpr()},
+		GroupRef(e.Kids[1]), GroupRef(e.Kids[0]))
+	m.InsertSubstitute(sub, root)
+	if len(seen) != 4 {
+		t.Fatalf("hook fired %d times after substitute, want 4", len(seen))
+	}
+	if last := seen[len(seen)-1]; last.Group != root || last.Ord != 1 {
+		t.Errorf("hook saw (group %d, ord %d), want (%d, 1)", last.Group, last.Ord, root)
+	}
+}
+
 func TestBoundExprCols(t *testing.T) {
 	md := newMD(t)
 	r := scan(t, md, "region")

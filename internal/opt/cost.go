@@ -27,7 +27,7 @@ func predWeight(pred scalar.Expr) float64 {
 	if pred == nil {
 		return 0.8
 	}
-	return 0.8 + 0.2*float64(len(scalar.Conjuncts(pred)))
+	return 0.8 + 0.2*float64(scalar.NumConjuncts(pred))
 }
 
 // joinTypeFactor models the relative per-row cost of the join variants:

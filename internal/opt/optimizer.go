@@ -38,6 +38,11 @@ type Options struct {
 	// DisableHistograms makes cardinality estimation fall back to
 	// distinct-count heuristics, for estimation-quality ablations.
 	DisableHistograms bool
+	// exploreOverride, when non-nil, replaces the dirty-queue explorer. It is
+	// unexported and only settable from within this package: the differential
+	// test uses it to run the reference pass-based explorer against the same
+	// memo and compare outcomes.
+	exploreOverride func(o *Optimizer, ctx *rules.Context, exercised rules.Set, interactions map[[2]rules.ID]bool, disabled rules.Set, maxExprs, maxPasses int)
 }
 
 // Result is the outcome of optimizing one query.
@@ -101,26 +106,38 @@ func (o *Optimizer) Optimize(tree *logical.Expr, md *logical.Metadata, opts Opti
 	}
 
 	// Rules may allocate fresh columns while exploring; working on a private
-	// clone keeps concurrent optimizations of the same query race-free and
-	// makes the ColumnIDs they allocate independent of scheduling.
-	md = md.Clone()
+	// copy-on-write clone keeps concurrent optimizations of the same query
+	// race-free and makes the ColumnIDs they allocate independent of
+	// scheduling, without paying for a column-table copy on the (common)
+	// optimizations that never synthesize a column.
+	md = md.CowClone()
 
 	m := memo.New(md)
-	root := m.Insert(tree)
-	m.SetRoot(root)
 
-	exercised := make(rules.Set)
-	interactions := make(map[[2]rules.ID]bool)
+	// Presized so the typical optimization never grows them incrementally.
+	exercised := make(rules.Set, 48)
+	interactions := make(map[[2]rules.ID]bool, 16)
 	ctx := &rules.Context{Memo: m}
 
-	o.explore(ctx, exercised, interactions, opts.Disabled, maxExprs, maxPasses)
+	if opts.exploreOverride != nil {
+		m.SetRoot(m.Insert(tree))
+		opts.exploreOverride(o, ctx, exercised, interactions, opts.Disabled, maxExprs, maxPasses)
+	} else {
+		// The explorer's memo hook must be live before the query tree is
+		// interned so the initial expressions seed its worklist.
+		ex := newExplorer(o, ctx, exercised, interactions, opts.Disabled, maxExprs, maxPasses)
+		m.SetRoot(m.Insert(tree))
+		ex.run()
+	}
+	root := m.Root
 
 	sb := newStatsBuilder(m)
 	sb.noHistograms = opts.DisableHistograms
 	imp := &implementor{
 		o: o, ctx: ctx, sb: sb,
 		exercised: exercised, disabled: opts.Disabled,
-		best: make(map[memo.GroupID]*physical.Expr), visiting: make(map[memo.GroupID]bool),
+		best: make([]*physical.Expr, m.NumGroups()),
+		done: make([]bool, m.NumGroups()), visiting: make([]bool, m.NumGroups()),
 	}
 	plan := imp.bestPlan(root)
 	if plan == nil {
@@ -129,67 +146,217 @@ func (o *Optimizer) Optimize(tree *logical.Expr, md *logical.Metadata, opts Opti
 	return &Result{Plan: plan, Cost: plan.Cost, RuleSet: exercised, Interactions: interactions, Memo: m}, nil
 }
 
-// explore runs exploration rules to a fixpoint (or the limits).
-func (o *Optimizer) explore(ctx *rules.Context, exercised rules.Set, interactions map[[2]rules.ID]bool, disabled rules.Set, maxExprs, maxPasses int) {
-	m := ctx.Memo
-	expl := o.reg.Exploration()
-	// Pattern bindings of an expression depend only on the expressions in
-	// its child groups (patterns are at most two concrete levels deep).
-	// kidVersion lets a pass skip re-binding a rule whose pattern found
-	// nothing last time unless a child group has grown since.
-	kidVersion := func(e *memo.MExpr) int {
-		v := 0
-		for _, k := range e.Kids {
-			v += len(m.Group(k).Exprs)
-		}
-		return v
+// explorer runs exploration rules to a fixpoint (or the limits) using a
+// dirty worklist instead of whole-memo fixpoint passes.
+//
+// The reference semantics (kept runnable in explore_reference_test.go) scan
+// the memo in (group, ord) order once per pass, re-binding an expression only
+// when the total size of its child groups — its "kid version" — changed since
+// its last visit. The worklist reproduces those semantics exactly, without
+// the O(memo) rescans:
+//
+//   - An expression's bindings depend only on its payload and the contents of
+//     its child groups, so it needs re-binding exactly when a child group
+//     gains an expression. The memo's onAdd hook fires once per added
+//     expression; dirtying the registered parents of the grown group is
+//     therefore equivalent to the kid-version check.
+//   - The current round's queue is a min-heap on (group, ord) — the scan
+//     order of a pass. An expression dirtied at a key after the one being
+//     processed would have been reached later in the same scan, so it joins
+//     the current round; one dirtied at or before the current key was already
+//     passed over and waits for the next round.
+//   - Rounds correspond to passes: a round that adds nothing leaves the next
+//     queue empty, exactly as a pass with changed=false terminates the loop,
+//     and maxPasses bounds the number of rounds.
+//
+// Rules are drawn from the registry's per-operator index; the omitted rules
+// are precisely those whose pattern root differs from the expression's
+// operator, for which Bind returns no matches (and fires no side effects).
+type explorer struct {
+	o            *Optimizer
+	ctx          *rules.Context
+	exercised    rules.Set
+	interactions map[[2]rules.ID]bool
+	disabled     rules.Set
+	maxExprs     int
+	maxPasses    int
+
+	// parents registers, for each group (index = GroupID-1), the memo
+	// expressions that have it as a child; they are the expressions
+	// invalidated when the group grows. Grown on demand as groups appear.
+	parents [][]*memo.MExpr
+	cur     exprHeap
+	next    []*memo.MExpr
+	inCur   map[*memo.MExpr]bool
+	inNext  map[*memo.MExpr]bool
+	// processing is the expression whose rules are currently running; nil
+	// between rounds and during the initial tree interning, when every new
+	// expression seeds the first round.
+	processing *memo.MExpr
+}
+
+func newExplorer(o *Optimizer, ctx *rules.Context, exercised rules.Set, interactions map[[2]rules.ID]bool, disabled rules.Set, maxExprs, maxPasses int) *explorer {
+	ex := &explorer{
+		o: o, ctx: ctx,
+		exercised: exercised, interactions: interactions, disabled: disabled,
+		maxExprs: maxExprs, maxPasses: maxPasses,
+		parents: make([][]*memo.MExpr, 0, 64),
+		inCur:   make(map[*memo.MExpr]bool),
+		inNext:  make(map[*memo.MExpr]bool),
 	}
-	triedAt := make(map[*memo.MExpr]int)
-	for pass := 0; pass < maxPasses; pass++ {
-		changed := false
-		// Groups and expressions grow during iteration; index-based loops
-		// pick the new ones up within the same pass.
-		for gi := 1; gi <= m.NumGroups(); gi++ {
-			g := m.Group(memo.GroupID(gi))
-			for ei := 0; ei < len(g.Exprs); ei++ {
-				e := g.Exprs[ei]
-				ver := kidVersion(e)
-				if v, ok := triedAt[e]; ok && v == ver {
+	ctx.Memo.SetOnAdd(ex.onAdd)
+	return ex
+}
+
+// onAdd observes every expression the memo interns: it indexes the new
+// expression as a parent of its child groups, then marks dirty both the
+// expression itself (it has never been bound) and the registered parents of
+// its group (their kid version just changed).
+func (ex *explorer) onAdd(e *memo.MExpr) {
+	for _, k := range e.Kids {
+		ex.grow(k)
+		p := ex.parents[k-1]
+		if p == nil {
+			p = make([]*memo.MExpr, 0, 4)
+		}
+		ex.parents[k-1] = append(p, e)
+	}
+	ex.dirty(e)
+	ex.grow(e.Group)
+	for _, p := range ex.parents[e.Group-1] {
+		ex.dirty(p)
+	}
+}
+
+// grow extends the parents index to cover group g.
+func (ex *explorer) grow(g memo.GroupID) {
+	for len(ex.parents) < int(g) {
+		ex.parents = append(ex.parents, nil)
+	}
+}
+
+// dirty queues e for (re-)binding: into the current round if its scan
+// position is still ahead of the expression being processed, else into the
+// next round.
+func (ex *explorer) dirty(e *memo.MExpr) {
+	if ex.processing != nil && exprLess(ex.processing, e) {
+		if !ex.inCur[e] {
+			ex.inCur[e] = true
+			ex.cur.push(e)
+		}
+		return
+	}
+	if !ex.inNext[e] {
+		ex.inNext[e] = true
+		ex.next = append(ex.next, e)
+	}
+}
+
+// run drains rounds of the worklist until a round adds nothing, or a cap is
+// reached.
+func (ex *explorer) run() {
+	defer ex.ctx.Memo.SetOnAdd(nil)
+	m := ex.ctx.Memo
+	for round := 0; round < ex.maxPasses && len(ex.next) > 0; round++ {
+		// Swap the queues, recycling the drained round's backing storage.
+		prevCur, prevInCur := ex.cur, ex.inCur
+		ex.cur, ex.inCur = exprHeap(ex.next), ex.inNext
+		ex.cur.init()
+		clear(prevInCur)
+		ex.next, ex.inNext = prevCur[:0], prevInCur
+		for len(ex.cur) > 0 {
+			e := ex.cur.pop()
+			delete(ex.inCur, e)
+			ex.processing = e
+			for _, r := range ex.o.reg.ExplorationFor(e.Op()) {
+				if ex.disabled.Contains(r.ID()) || e.WasApplied(int(r.ID())) {
 					continue
 				}
-				triedAt[e] = ver
-				for _, r := range expl {
-					if disabled.Contains(r.ID()) || e.Applied[int(r.ID())] {
-						continue
+				binds := rules.Bind(m, e, r.Pattern())
+				if len(binds) == 0 {
+					// The pattern may start matching later, once child groups
+					// gain expressions; retry when they grow.
+					continue
+				}
+				e.MarkApplied(int(r.ID()))
+				for _, b := range binds {
+					subs := r.Apply(ex.ctx, b)
+					if len(subs) > 0 {
+						ex.exercised.Add(r.ID())
+						recordInteractions(ex.interactions, b, r.ID())
 					}
-					binds := rules.Bind(m, e, r.Pattern())
-					if len(binds) == 0 {
-						// The pattern may start matching later, once child
-						// groups gain expressions; retry when they grow.
-						continue
-					}
-					e.Applied[int(r.ID())] = true
-					for _, b := range binds {
-						subs := r.Apply(ctx, b)
-						if len(subs) > 0 {
-							exercised.Add(r.ID())
-							recordInteractions(interactions, b, r.ID())
-						}
-						for _, sub := range subs {
-							if m.InsertSubstituteFrom(sub, e.Group, int(r.ID())) {
-								changed = true
-							}
-						}
-					}
-					if m.NumExprs() >= maxExprs {
-						return
+					for _, sub := range subs {
+						m.InsertSubstituteFrom(sub, e.Group, int(r.ID()))
 					}
 				}
+				if m.NumExprs() >= ex.maxExprs {
+					return
+				}
 			}
+			ex.processing = nil
 		}
-		if !changed {
+	}
+}
+
+// exprLess orders memo expressions by scan position (group, then ord).
+func exprLess(a, b *memo.MExpr) bool {
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	return a.Ord < b.Ord
+}
+
+// exprHeap is a hand-rolled binary min-heap of memo expressions ordered by
+// exprLess; it avoids container/heap's interface indirection on the hot path.
+type exprHeap []*memo.MExpr
+
+// init establishes the heap invariant over arbitrary contents.
+func (h exprHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *exprHeap) push(e *memo.MExpr) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !exprLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *exprHeap) pop() *memo.MExpr {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h exprHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && exprLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && exprLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
 			return
 		}
+		h[i], h[small] = h[small], h[i]
+		i = small
 	}
 }
 
@@ -210,26 +377,29 @@ func recordInteractions(interactions map[[2]rules.ID]bool, b *memo.BoundExpr, fi
 
 // implementor runs the implementation/costing phase: a bottom-up dynamic
 // program over the memo choosing the cheapest physical expression per group.
+// Its per-group state is held in dense slices indexed by GroupID, sized once
+// at construction (the memo is final when implementation starts).
 type implementor struct {
 	o         *Optimizer
 	ctx       *rules.Context
 	sb        *statsBuilder
 	exercised rules.Set
 	disabled  rules.Set
-	best      map[memo.GroupID]*physical.Expr
-	visiting  map[memo.GroupID]bool
+	best      []*physical.Expr // index = GroupID-1
+	done      []bool           // index = GroupID-1: best[g] is final (may be nil: no plan)
+	visiting  []bool           // index = GroupID-1
 }
 
 func (imp *implementor) bestPlan(g memo.GroupID) *physical.Expr {
-	if p, ok := imp.best[g]; ok {
-		return p
+	if imp.done[g-1] {
+		return imp.best[g-1]
 	}
-	if imp.visiting[g] {
+	if imp.visiting[g-1] {
 		// Defensive: a cyclic group reference cannot yield a finite plan.
 		return nil
 	}
-	imp.visiting[g] = true
-	defer delete(imp.visiting, g)
+	imp.visiting[g-1] = true
+	defer func() { imp.visiting[g-1] = false }()
 
 	group := imp.ctx.Memo.Group(g)
 	st := imp.sb.stats(g)
@@ -247,11 +417,8 @@ func (imp *implementor) bestPlan(g memo.GroupID) *physical.Expr {
 		if !ok {
 			continue
 		}
-		for _, ir := range imp.o.reg.Implementation() {
+		for _, ir := range imp.o.reg.ImplementationFor(e.Op()) {
 			if imp.disabled.Contains(ir.ID()) {
-				continue
-			}
-			if ir.Pattern().Op != e.Op() {
 				continue
 			}
 			cands := ir.Implement(imp.ctx, e)
@@ -272,7 +439,8 @@ func (imp *implementor) bestPlan(g memo.GroupID) *physical.Expr {
 			}
 		}
 	}
-	imp.best[g] = best
+	imp.best[g-1] = best
+	imp.done[g-1] = true
 	return best
 }
 

@@ -1,0 +1,74 @@
+package opt
+
+import (
+	"sync"
+	"testing"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/rules"
+)
+
+// TestConcurrentOptimizeSharedMetadata hammers one Optimizer with many
+// goroutines optimizing the same bound queries against the SAME *Metadata.
+// This is the contract the parallel campaign engine relies on and the one
+// the lazy copy-on-write metadata clone must preserve: concurrent Optimize
+// calls share the base column table read-only, and calls whose rules
+// synthesize columns (the aggregate-pushdown family) append onto private
+// storage, never into the shared array. Run under -race this covers both
+// the clone fast path and the append-after-clone path; in any mode it
+// checks that results stay schedule-independent.
+func TestConcurrentOptimizeSharedMetadata(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.TPCHConfig{ScaleRows: 1.0, Seed: 42})
+	o := New(rules.DefaultRegistry(), cat)
+
+	queries := []string{
+		// Exercises aggregate pushdown, which synthesizes columns via
+		// Metadata.AddColumn on the cloned metadata.
+		"SELECT c_nationkey, COUNT(*) AS cnt FROM customer JOIN orders ON c_custkey = o_custkey GROUP BY c_nationkey",
+		"SELECT s_name FROM supplier JOIN nation ON s_nationkey = n_nationkey JOIN region ON n_regionkey = r_regionkey WHERE r_name = 'AFRICA'",
+		"SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem GROUP BY l_returnflag",
+	}
+
+	for _, q := range queries {
+		bound, err := bind.BindSQL(q, cat)
+		if err != nil {
+			t.Fatalf("bind %q: %v", q, err)
+		}
+		want, err := o.Optimize(bound.Tree, bound.MD, Options{})
+		if err != nil {
+			t.Fatalf("optimize %q: %v", q, err)
+		}
+		wantHash := want.Plan.Hash()
+		wantExprs := want.Memo.NumExprs()
+
+		const goroutines = 8
+		const iters = 5
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					res, err := o.Optimize(bound.Tree, bound.MD, Options{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Plan.Hash() != wantHash || res.Memo.NumExprs() != wantExprs ||
+						res.Cost != want.Cost {
+						t.Errorf("concurrent Optimize diverged: hash %s/%s exprs %d/%d cost %v/%v",
+							res.Plan.Hash(), wantHash, res.Memo.NumExprs(), wantExprs, res.Cost, want.Cost)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("concurrent optimize %q: %v", q, err)
+		}
+	}
+}

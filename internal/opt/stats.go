@@ -31,28 +31,32 @@ func (s *groupStats) distinctOf(id scalar.ColumnID) float64 {
 	return defaultDist
 }
 
-// statsBuilder computes and caches group statistics.
+// statsBuilder computes and caches group statistics. The cache is a dense
+// slice indexed by GroupID: the builder is constructed after exploration,
+// when the memo's group count is final.
 type statsBuilder struct {
 	m     *memo.Memo
-	cache map[memo.GroupID]*groupStats
+	cache []*groupStats // index = GroupID-1
 	// noHistograms disables histogram-based selectivity (ablation knob).
 	noHistograms bool
 }
 
 func newStatsBuilder(m *memo.Memo) *statsBuilder {
-	return &statsBuilder{m: m, cache: make(map[memo.GroupID]*groupStats)}
+	return &statsBuilder{m: m, cache: make([]*groupStats, m.NumGroups())}
 }
 
+// statsPlaceholder terminates stats recursion on (impossible in well-formed
+// memos) cyclic group references. It is shared and read-only: a cycle reads
+// rows=1 and default distinct counts from it, nothing ever writes.
+var statsPlaceholder = &groupStats{rows: 1}
+
 func (sb *statsBuilder) stats(g memo.GroupID) *groupStats {
-	if st, ok := sb.cache[g]; ok {
+	if st := sb.cache[g-1]; st != nil {
 		return st
 	}
-	// Insert a placeholder to terminate on (impossible in well-formed memos)
-	// cyclic group references.
-	placeholder := &groupStats{rows: 1, distinct: map[scalar.ColumnID]float64{}}
-	sb.cache[g] = placeholder
+	sb.cache[g-1] = statsPlaceholder
 	st := sb.compute(sb.m.Group(g).Exprs[0])
-	sb.cache[g] = st
+	sb.cache[g-1] = st
 	return st
 }
 
@@ -61,7 +65,7 @@ func (sb *statsBuilder) compute(e *memo.MExpr) *groupStats {
 	switch node.Op {
 	case logical.OpGet:
 		t, err := sb.m.MD.Catalog().Table(node.Table)
-		st := &groupStats{rows: 1, distinct: make(map[scalar.ColumnID]float64)}
+		st := &groupStats{rows: 1, distinct: make(map[scalar.ColumnID]float64, len(node.Cols))}
 		if err != nil {
 			return st
 		}
@@ -122,7 +126,7 @@ func (sb *statsBuilder) compute(e *memo.MExpr) *groupStats {
 	case logical.OpGroupBy:
 		in := sb.stats(e.Kids[0])
 		if len(node.GroupCols) == 0 {
-			st := &groupStats{rows: 1, distinct: make(map[scalar.ColumnID]float64)}
+			st := &groupStats{rows: 1, distinct: make(map[scalar.ColumnID]float64, len(node.Aggs))}
 			for _, a := range node.Aggs {
 				st.distinct[a.Out] = 1
 			}
@@ -137,7 +141,7 @@ func (sb *statsBuilder) compute(e *memo.MExpr) *groupStats {
 			}
 		}
 		groups = maxf(minf(groups, in.rows), minRows)
-		st := &groupStats{rows: groups, distinct: make(map[scalar.ColumnID]float64)}
+		st := &groupStats{rows: groups, distinct: make(map[scalar.ColumnID]float64, len(node.GroupCols)+len(node.Aggs))}
 		for _, c := range node.GroupCols {
 			st.distinct[c] = clampDist(in.distinctOf(c), groups)
 		}
@@ -301,6 +305,19 @@ func histValue(d datum.Datum) (float64, bool) {
 
 func scaleStats(in *groupStats, rows float64) *groupStats {
 	rows = maxf(rows, minRows)
+	// groupStats maps are never written after construction, so when clamping
+	// would leave every distinct count unchanged the input map is shared
+	// instead of cloned.
+	share := true
+	for _, d := range in.distinct {
+		if clampDist(d, rows) != d {
+			share = false
+			break
+		}
+	}
+	if share {
+		return &groupStats{rows: rows, distinct: in.distinct}
+	}
 	st := &groupStats{rows: rows, distinct: make(map[scalar.ColumnID]float64, len(in.distinct))}
 	for id, d := range in.distinct {
 		st.distinct[id] = clampDist(d, rows)

@@ -1,0 +1,83 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line binaries. It exists so every command stops profiles and
+// closes their files the same way, with write and close errors propagated
+// instead of silently dropped.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session holds the profiling state of one command invocation.
+type Session struct {
+	cpu     *os.File
+	memPath string
+}
+
+// Start begins CPU profiling when cpuPath is non-empty and remembers
+// memPath for a heap snapshot at Stop. Either path may be empty; a nil
+// session with no error means profiling is entirely disabled.
+func Start(cpuPath, memPath string) (*Session, error) {
+	if cpuPath == "" && memPath == "" {
+		return nil, nil
+	}
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = fmt.Errorf("%w (and closing profile: %v)", err, cerr)
+			}
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		s.cpu = f
+	}
+	return s, nil
+}
+
+// Stop finishes CPU profiling and writes the heap profile, if either was
+// requested. It is safe to call on a nil session and returns the first
+// error encountered, including file-close errors.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpu.Close(); err != nil && first == nil {
+			first = fmt.Errorf("close cpu profile: %w", err)
+		}
+		s.cpu = nil
+	}
+	if s.memPath != "" {
+		if err := writeHeap(s.memPath); err != nil && first == nil {
+			first = err
+		}
+		s.memPath = ""
+	}
+	return first
+}
+
+func writeHeap(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create mem profile: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close mem profile: %w", cerr)
+		}
+	}()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("write mem profile: %w", err)
+	}
+	return nil
+}

@@ -45,8 +45,25 @@ func kidCols(ctx *Context, b *memo.BoundExpr) scalar.ColSet {
 // splitConjuncts partitions the conjuncts of pred into those whose columns
 // are all within allowed, and the rest.
 func splitConjuncts(pred scalar.Expr, allowed scalar.ColSet) (within, rest []scalar.Expr) {
-	for _, c := range scalar.Conjuncts(pred) {
-		if scalar.ReferencedCols(c).SubsetOf(allowed) {
+	conj := scalar.Conjuncts(pred)
+	nw := 0
+	for _, c := range conj {
+		if scalar.RefsWithin(c, allowed) {
+			nw++
+		}
+	}
+	// All-on-one-side cases share the (immutable, capacity-clipped) conjunct
+	// slice; a genuine split fills both halves of one backing allocation.
+	switch nw {
+	case 0:
+		return nil, conj
+	case len(conj):
+		return conj, nil
+	}
+	buf := make([]scalar.Expr, len(conj))
+	within, rest = buf[:0:nw], buf[nw:nw:len(conj)]
+	for _, c := range conj {
+		if scalar.RefsWithin(c, allowed) {
 			within = append(within, c)
 		} else {
 			rest = append(rest, c)

@@ -30,15 +30,67 @@ func impl(id ID, name string, pattern *Pattern, fn func(*Context, *memo.MExpr) [
 func equiKeys(ctx *Context, e *memo.MExpr) (left, right []scalar.ColumnID, ok bool) {
 	l := ctx.Memo.Group(e.Kids[0]).Cols
 	r := ctx.Memo.Group(e.Kids[1]).Cols
-	pairs, _ := logical.EquiJoinCols(e.Node.On, l, r)
-	if len(pairs) == 0 {
+	// Inlined equi-pair extraction (EquiJoinCols without the pairs and
+	// remainder slices): this runs per join expression per costing pass.
+	// The single-comparison predicate gets a no-slice fast path, and both
+	// key slices share one backing allocation (count pass, then fill).
+	var single [1]scalar.Expr
+	var conj []scalar.Expr
+	if _, isAnd := e.Node.On.(*scalar.And); isAnd {
+		conj = scalar.Conjuncts(e.Node.On)
+	} else {
+		single[0] = e.Node.On
+		conj = single[:]
+	}
+	crossSide := func(c scalar.Expr) (lid, rid scalar.ColumnID, ok bool) {
+		cmp, cok := c.(*scalar.Cmp)
+		if !cok || cmp.Op != scalar.CmpEQ {
+			return 0, 0, false
+		}
+		lref, lok := cmp.L.(*scalar.ColRef)
+		rref, rok := cmp.R.(*scalar.ColRef)
+		if !lok || !rok {
+			return 0, 0, false
+		}
+		switch {
+		case l.Contains(lref.ID) && r.Contains(rref.ID):
+			return lref.ID, rref.ID, true
+		case l.Contains(rref.ID) && r.Contains(lref.ID):
+			return rref.ID, lref.ID, true
+		}
+		return 0, 0, false
+	}
+	n := 0
+	for _, c := range conj {
+		if _, _, cok := crossSide(c); cok {
+			n++
+		}
+	}
+	if n == 0 {
 		return nil, nil, false
 	}
-	for _, p := range pairs {
-		left = append(left, p[0])
-		right = append(right, p[1])
+	buf := make([]scalar.ColumnID, 2*n)
+	left, right = buf[:0:n], buf[n:n:2*n]
+	for _, c := range conj {
+		if lid, rid, cok := crossSide(c); cok {
+			left = append(left, lid)
+			right = append(right, rid)
+		}
 	}
 	return left, right, true
+}
+
+// one returns a single-candidate implementation result, co-allocating the
+// slice and the expression: almost every implementation rule yields exactly
+// one candidate, and the implementor mutates each candidate in place
+// (Children/Rows/Cost), so candidates must be fresh per call anyway.
+func one(e physical.Expr) []*physical.Expr {
+	buf := &struct {
+		e physical.Expr
+		s [1]*physical.Expr
+	}{e: e}
+	buf.s[0] = &buf.e
+	return buf.s[:]
 }
 
 func joinTypeOf(op logical.Op) physical.JoinType {
@@ -60,18 +112,18 @@ func hashJoinImpl(id ID, name string, op logical.Op) ImplementationRule {
 		if !ok {
 			return nil
 		}
-		return []*physical.Expr{{
+		return one(physical.Expr{
 			Op: physical.OpHashJoin, JoinType: joinTypeOf(op),
 			On: e.Node.On, EquiLeft: l, EquiRight: r,
-		}}
+		})
 	})
 }
 
 func nlJoinImpl(id ID, name string, op logical.Op) ImplementationRule {
 	return impl(id, name, P(op, Any(), Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-		return []*physical.Expr{{
+		return one(physical.Expr{
 			Op: physical.OpNLJoin, JoinType: joinTypeOf(op), On: e.Node.On,
-		}}
+		})
 	})
 }
 
@@ -81,15 +133,15 @@ func nlJoinImpl(id ID, name string, op logical.Op) ImplementationRule {
 func ImplementationRules() []ImplementationRule {
 	return []ImplementationRule{
 		impl(101, "GetToScan", P(logical.OpGet), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{Op: physical.OpScan, Table: e.Node.Table, Cols: e.Node.Cols}}
+			return one(physical.Expr{Op: physical.OpScan, Table: e.Node.Table, Cols: e.Node.Cols})
 		}),
 
 		impl(102, "SelectToFilter", P(logical.OpSelect, Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{Op: physical.OpFilter, Filter: e.Node.Filter}}
+			return one(physical.Expr{Op: physical.OpFilter, Filter: e.Node.Filter})
 		}),
 
 		impl(103, "ProjectToProject", P(logical.OpProject, Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{Op: physical.OpProject, Projs: e.Node.Projs}}
+			return one(physical.Expr{Op: physical.OpProject, Projs: e.Node.Projs})
 		}),
 
 		hashJoinImpl(104, "JoinToHashJoin", logical.OpJoin),
@@ -100,10 +152,10 @@ func ImplementationRules() []ImplementationRule {
 			if !ok {
 				return nil
 			}
-			return []*physical.Expr{{
+			return one(physical.Expr{
 				Op: physical.OpMergeJoin, JoinType: physical.JoinInner,
 				On: e.Node.On, EquiLeft: l, EquiRight: r,
-			}}
+			})
 		}),
 
 		hashJoinImpl(107, "LeftJoinToHashJoin", logical.OpLeftJoin),
@@ -114,9 +166,9 @@ func ImplementationRules() []ImplementationRule {
 		nlJoinImpl(112, "AntiJoinToNLJoin", logical.OpAntiJoin),
 
 		impl(113, "GroupByToHashAgg", P(logical.OpGroupBy, Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{
+			return one(physical.Expr{
 				Op: physical.OpHashAgg, GroupCols: e.Node.GroupCols, Aggs: e.Node.Aggs,
-			}}
+			})
 		}),
 
 		impl(114, "GroupByToStreamAgg", P(logical.OpGroupBy, Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
@@ -125,23 +177,23 @@ func ImplementationRules() []ImplementationRule {
 			if len(e.Node.GroupCols) == 0 {
 				return nil
 			}
-			return []*physical.Expr{{
+			return one(physical.Expr{
 				Op: physical.OpSortAgg, GroupCols: e.Node.GroupCols, Aggs: e.Node.Aggs,
-			}}
+			})
 		}),
 
 		impl(115, "UnionAllToConcat", P(logical.OpUnionAll, Any(), Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{
+			return one(physical.Expr{
 				Op: physical.OpConcat, OutCols: e.Node.OutCols, InputCols: e.Node.InputCols,
-			}}
+			})
 		}),
 
 		impl(116, "SortToSort", P(logical.OpSort, Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{Op: physical.OpSort, Keys: e.Node.Keys}}
+			return one(physical.Expr{Op: physical.OpSort, Keys: e.Node.Keys})
 		}),
 
 		impl(117, "LimitToLimit", P(logical.OpLimit, Any()), func(ctx *Context, e *memo.MExpr) []*physical.Expr {
-			return []*physical.Expr{{Op: physical.OpLimit, N: e.Node.N}}
+			return one(physical.Expr{Op: physical.OpLimit, N: e.Node.N})
 		}),
 	}
 }

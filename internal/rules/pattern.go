@@ -234,40 +234,105 @@ func bindExpr(m *memo.Memo, e *memo.MExpr, p *Pattern, limit int) []*memo.BoundE
 		return nil
 	}
 	if p.IsGeneric() {
-		return []*memo.BoundExpr{memo.GroupRef(e.Group)}
+		return []*memo.BoundExpr{m.LeafRef(e.Group)}
 	}
 	if e.Op() != p.Op || len(p.Children) != len(e.Kids) {
 		return nil
 	}
-	// Enumerate bindings per child, then take the cartesian product.
-	perChild := make([][]*memo.BoundExpr, len(p.Children))
+	// Enumerate bindings per child. Generic placeholders always bind exactly
+	// one (cached) group-reference leaf, and concrete children usually bind a
+	// single expression, so the overwhelmingly common case is one binding per
+	// child: build that single result directly and skip the cartesian
+	// product. Operator arity is at most 2, so perChild lives on the stack.
+	var pcbuf [2][]*memo.BoundExpr
+	perChild := pcbuf[:len(p.Children)]
+	single := true
 	for i, pc := range p.Children {
+		if pc.IsGeneric() {
+			continue // marked by perChild[i] == nil
+		}
 		perChild[i] = bindGroup(m, e.Kids[i], pc, limit)
 		if len(perChild[i]) == 0 {
 			return nil
 		}
+		if len(perChild[i]) > 1 {
+			single = false
+		}
 	}
-	results := []*memo.BoundExpr{{Node: e.Node, Group: e.Group, Src: e}}
-	for _, kidOptions := range perChild {
-		var next []*memo.BoundExpr
-		for _, partial := range results {
-			for _, opt := range kidOptions {
-				if len(next) >= limit {
-					break
-				}
-				nb := &memo.BoundExpr{Node: partial.Node, Group: partial.Group, Src: partial.Src}
-				nb.Kids = append(append([]*memo.BoundExpr(nil), partial.Kids...), opt)
-				next = append(next, nb)
+	if single {
+		b := newBinding(e)
+		for i, opts := range perChild {
+			if opts == nil {
+				b.Kids[i] = m.LeafRef(e.Kids[i])
+			} else {
+				b.Kids[i] = opts[0]
 			}
 		}
-		results = next
+		return []*memo.BoundExpr{b}
 	}
-	return results
+	// Multi-binding case: enumerate the cartesian product lexicographically
+	// (first child most significant — the same order the old level-wise
+	// product produced) and stop at limit. Since every child contributes at
+	// least one option, the first `limit` products only ever draw from the
+	// first `limit` options of each child, so truncating here is equivalent
+	// to the old per-level truncation.
+	for i, opts := range perChild {
+		if opts == nil {
+			perChild[i] = []*memo.BoundExpr{m.LeafRef(e.Kids[i])}
+		}
+	}
+	if len(perChild) == 1 {
+		out := make([]*memo.BoundExpr, 0, min(len(perChild[0]), limit))
+		for _, a := range perChild[0] {
+			if len(out) >= limit {
+				break
+			}
+			nb := newBinding(e)
+			nb.Kids[0] = a
+			out = append(out, nb)
+		}
+		return out
+	}
+	out := make([]*memo.BoundExpr, 0, min(len(perChild[0])*len(perChild[1]), limit))
+	for _, a := range perChild[0] {
+		if len(out) >= limit {
+			break
+		}
+		for _, b := range perChild[1] {
+			if len(out) >= limit {
+				break
+			}
+			nb := newBinding(e)
+			nb.Kids[0], nb.Kids[1] = a, b
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// newBinding allocates a binding for memo expression e together with its kid
+// slots in a single object: operator arity never exceeds 2, so the BoundExpr
+// and its Kids backing array always fit one allocation. The caller fills
+// b.Kids[0..arity-1].
+func newBinding(e *memo.MExpr) *memo.BoundExpr {
+	buf := &struct {
+		b    memo.BoundExpr
+		kids [2]*memo.BoundExpr
+	}{b: memo.BoundExpr{Node: e.Node, Group: e.Group, Src: e}}
+	buf.b.Kids = buf.kids[:len(e.Kids):len(e.Kids)]
+	return &buf.b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func bindGroup(m *memo.Memo, g memo.GroupID, p *Pattern, limit int) []*memo.BoundExpr {
 	if p.IsGeneric() {
-		return []*memo.BoundExpr{memo.GroupRef(g)}
+		return []*memo.BoundExpr{m.LeafRef(g)}
 	}
 	var out []*memo.BoundExpr
 	for _, e := range m.Group(g).Exprs {

@@ -150,6 +150,17 @@ type Registry struct {
 	all    []Rule
 	byID   map[ID]Rule
 	byName map[string]Rule
+	// expl/impl are the kind-filtered views, cached at construction so the
+	// optimizer's hot loops never re-filter or re-allocate them.
+	expl []ExplorationRule
+	impl []ImplementationRule
+	// explByOp/implByOp index rules by pattern root operator, in definition
+	// order. ValidatePattern guarantees every pattern root is a concrete
+	// operator (never OpAny), so the index is total: a rule appears under
+	// exactly one operator, and Bind on any other operator's expressions
+	// would return nothing anyway.
+	explByOp map[logical.Op][]ExplorationRule
+	implByOp map[logical.Op][]ImplementationRule
 }
 
 // NewRegistry returns a registry with the given rules; it panics on
@@ -158,7 +169,12 @@ type Registry struct {
 // fails at registry construction rather than later, mid-optimization, when
 // the binder first walks its pattern.
 func NewRegistry(rs ...Rule) *Registry {
-	reg := &Registry{byID: make(map[ID]Rule), byName: make(map[string]Rule)}
+	reg := &Registry{
+		byID:     make(map[ID]Rule),
+		byName:   make(map[string]Rule),
+		explByOp: make(map[logical.Op][]ExplorationRule),
+		implByOp: make(map[logical.Op][]ImplementationRule),
+	}
 	for _, r := range rs {
 		if _, dup := reg.byID[r.ID()]; dup {
 			panic(fmt.Sprintf("rules: duplicate rule id %d", r.ID()))
@@ -172,6 +188,15 @@ func NewRegistry(rs ...Rule) *Registry {
 		reg.all = append(reg.all, r)
 		reg.byID[r.ID()] = r
 		reg.byName[r.Name()] = r
+		op := r.Pattern().Op
+		if er, ok := r.(ExplorationRule); ok {
+			reg.expl = append(reg.expl, er)
+			reg.explByOp[op] = append(reg.explByOp[op], er)
+		}
+		if ir, ok := r.(ImplementationRule); ok {
+			reg.impl = append(reg.impl, ir)
+			reg.implByOp[op] = append(reg.implByOp[op], ir)
+		}
 	}
 	return reg
 }
@@ -179,27 +204,23 @@ func NewRegistry(rs ...Rule) *Registry {
 // All returns every rule in definition order.
 func (r *Registry) All() []Rule { return r.all }
 
-// Exploration returns the exploration rules in definition order.
-func (r *Registry) Exploration() []ExplorationRule {
-	var out []ExplorationRule
-	for _, rule := range r.all {
-		if er, ok := rule.(ExplorationRule); ok {
-			out = append(out, er)
-		}
-	}
-	return out
-}
+// Exploration returns the exploration rules in definition order. Callers
+// must not mutate the returned slice.
+func (r *Registry) Exploration() []ExplorationRule { return r.expl }
 
 // Implementation returns the implementation rules in definition order.
-func (r *Registry) Implementation() []ImplementationRule {
-	var out []ImplementationRule
-	for _, rule := range r.all {
-		if ir, ok := rule.(ImplementationRule); ok {
-			out = append(out, ir)
-		}
-	}
-	return out
-}
+// Callers must not mutate the returned slice.
+func (r *Registry) Implementation() []ImplementationRule { return r.impl }
+
+// ExplorationFor returns the exploration rules whose pattern root is op, in
+// definition order. Because pattern roots are always concrete operators,
+// iterating ExplorationFor(e.Op()) visits exactly the rules that could bind
+// to e — the rules it omits would all fail the binder's root operator check.
+func (r *Registry) ExplorationFor(op logical.Op) []ExplorationRule { return r.explByOp[op] }
+
+// ImplementationFor returns the implementation rules whose pattern root is
+// op, in definition order.
+func (r *Registry) ImplementationFor(op logical.Op) []ImplementationRule { return r.implByOp[op] }
 
 // ByID returns the rule with the given id, or an error.
 func (r *Registry) ByID(id ID) (Rule, error) {

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"qtrtest/internal/datum"
+	"qtrtest/internal/fnv64"
 )
 
 // ColumnID uniquely identifies a column instance within one query. Two scans
@@ -305,6 +306,104 @@ func writeInt(sb *strings.Builder, v int64) {
 	sb.Write(strconv.AppendInt(buf[:0], v, 10))
 }
 
+// FingerprintInto mixes a structural fingerprint of e into h: the numeric
+// analogue of HashInto, used by the memo's interning table. Two expressions
+// with Equal(a, b) always produce identical fingerprints; the converse is
+// not guaranteed (hash collisions), which is why the memo backs every
+// fingerprint with an Equal check.
+func FingerprintInto(e Expr, h *fnv64.Hash) {
+	switch t := e.(type) {
+	case *ColRef:
+		h.Byte('c')
+		h.Int(int64(t.ID))
+	case *Const:
+		h.Byte('k')
+		fingerprintDatum(t.D, h)
+	case *Cmp:
+		h.Byte('(')
+		h.Int(int64(t.Op))
+		FingerprintInto(t.L, h)
+		FingerprintInto(t.R, h)
+	case *Arith:
+		h.Byte('+')
+		h.Int(int64(t.Op))
+		FingerprintInto(t.L, h)
+		FingerprintInto(t.R, h)
+	case *And:
+		h.Byte('a')
+		h.Int(int64(len(t.Kids)))
+		for _, k := range t.Kids {
+			FingerprintInto(k, h)
+		}
+	case *Or:
+		h.Byte('o')
+		h.Int(int64(len(t.Kids)))
+		for _, k := range t.Kids {
+			FingerprintInto(k, h)
+		}
+	case *Not:
+		h.Byte('n')
+		FingerprintInto(t.Kid, h)
+	case *IsNull:
+		h.Byte('z')
+		FingerprintInto(t.Kid, h)
+	default:
+		h.Byte('?')
+	}
+}
+
+func fingerprintDatum(d datum.Datum, h *fnv64.Hash) {
+	h.Int(int64(d.K))
+	h.Int(d.I)
+	h.Float(d.F)
+	h.String(d.S)
+	h.Bool(d.B)
+}
+
+// Equal reports full structural equality of two scalar expressions — the
+// collision-proof ground truth behind FingerprintInto.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ColRef:
+		y, ok := b.(*ColRef)
+		return ok && x.ID == y.ID
+	case *Const:
+		y, ok := b.(*Const)
+		return ok && x.D == y.D
+	case *Cmp:
+		y, ok := b.(*Cmp)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Arith:
+		y, ok := b.(*Arith)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *And:
+		y, ok := b.(*And)
+		return ok && exprsEqual(x.Kids, y.Kids)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && exprsEqual(x.Kids, y.Kids)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.Kid, y.Kid)
+	case *IsNull:
+		y, ok := b.(*IsNull)
+		return ok && Equal(x.Kid, y.Kid)
+	}
+	return false
+}
+
+func exprsEqual(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func hashOne(e Expr) string {
 	var sb strings.Builder
 	HashInto(e, &sb)
@@ -341,6 +440,20 @@ func TrueExpr() Expr { return &And{} }
 // Conjuncts flattens a predicate into its top-level AND factors.
 func Conjuncts(e Expr) []Expr {
 	if a, ok := e.(*And); ok {
+		flat := true
+		for _, k := range a.Kids {
+			if _, nested := k.(*And); nested {
+				flat = false
+				break
+			}
+		}
+		if flat {
+			// Common case: no nested conjunctions, so the Kids slice already
+			// is the conjunct list. Share it with capacity clipped: callers
+			// that append get a private reallocation instead of writing
+			// through to this node.
+			return a.Kids[:len(a.Kids):len(a.Kids)]
+		}
 		var out []Expr
 		for _, k := range a.Kids {
 			out = append(out, Conjuncts(k)...)
@@ -348,6 +461,18 @@ func Conjuncts(e Expr) []Expr {
 		return out
 	}
 	return []Expr{e}
+}
+
+// NumConjuncts returns len(Conjuncts(e)) without materializing the slice.
+func NumConjuncts(e Expr) int {
+	if a, ok := e.(*And); ok {
+		n := 0
+		for _, k := range a.Kids {
+			n += NumConjuncts(k)
+		}
+		return n
+	}
+	return 1
 }
 
 // MakeAnd rebuilds a predicate from conjuncts; one conjunct is returned
@@ -368,6 +493,41 @@ func ReferencedCols(e Expr) ColSet {
 	s := make(ColSet)
 	e.Cols(s)
 	return s
+}
+
+// RefsWithin reports whether every column referenced by e is in allowed. It
+// is ReferencedCols(e).SubsetOf(allowed) without materializing the set, with
+// early exit on the first outside reference.
+func RefsWithin(e Expr, allowed ColSet) bool {
+	switch t := e.(type) {
+	case *ColRef:
+		return allowed[t.ID]
+	case *Const:
+		return true
+	case *Cmp:
+		return RefsWithin(t.L, allowed) && RefsWithin(t.R, allowed)
+	case *Arith:
+		return RefsWithin(t.L, allowed) && RefsWithin(t.R, allowed)
+	case *And:
+		for _, k := range t.Kids {
+			if !RefsWithin(k, allowed) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, k := range t.Kids {
+			if !RefsWithin(k, allowed) {
+				return false
+			}
+		}
+		return true
+	case *Not:
+		return RefsWithin(t.Kid, allowed)
+	case *IsNull:
+		return RefsWithin(t.Kid, allowed)
+	}
+	return ReferencedCols(e).SubsetOf(allowed)
 }
 
 // AggOp enumerates aggregate functions.
@@ -410,4 +570,26 @@ func (a Agg) Hash() string {
 		return fmt.Sprintf("cnt*->%d", a.Out)
 	}
 	return fmt.Sprintf("%d(%s)->%d", a.Op, a.Arg.Hash(), a.Out)
+}
+
+// FingerprintInto mixes the aggregate's structural fingerprint into h.
+func (a Agg) FingerprintInto(h *fnv64.Hash) {
+	h.Int(int64(a.Op))
+	h.Int(int64(a.Out))
+	if a.Arg != nil {
+		FingerprintInto(a.Arg, h)
+	} else {
+		h.Byte('*')
+	}
+}
+
+// Equal reports structural equality of two aggregates.
+func (a Agg) Equal(b Agg) bool {
+	if a.Op != b.Op || a.Out != b.Out {
+		return false
+	}
+	if (a.Arg == nil) != (b.Arg == nil) {
+		return false
+	}
+	return a.Arg == nil || Equal(a.Arg, b.Arg)
 }
