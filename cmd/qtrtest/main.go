@@ -15,6 +15,7 @@
 //	qtrtest interactions -n 8 [-per 3]
 //	qtrtest mutate [-k 4] [-targets 0] [-extra 0] [-kinds a,b] [-diff]
 //	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind]
+//	qtrtest fuzz [-n 500] [-timeout 30s] [-json] [-mutant kind] [-randcat] [-stop-on-finding]
 //	qtrtest bench [-o BENCH_optimizer.json] [-campaign=false]
 //
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
@@ -92,6 +93,8 @@ func main() {
 		err = cmdMutate(db, rest, *seed, *workers)
 	case "check":
 		err = cmdCheck(db, rest)
+	case "fuzz":
+		err = cmdFuzz(db, rest, *schema, *seed, *workers)
 	case "bench":
 		err = cmdBench(db, rest)
 	default:
@@ -110,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|fuzz|bench> [flags]")
 	os.Exit(2)
 }
 

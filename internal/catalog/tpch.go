@@ -66,6 +66,12 @@ func LoadTPCH(cfg TPCHConfig) *Catalog {
 	nCustomer := scaled(120, cfg.ScaleRows)
 	nPart := scaled(100, cfg.ScaleRows)
 	nPartsupp := nPart * 3
+	if nPartsupp > nPart*nSupplier {
+		// The generation loop draws distinct (part, supplier) pairs; at tiny
+		// scales the requested count can exceed the pair space, which would
+		// loop forever.
+		nPartsupp = nPart * nSupplier
+	}
 	nOrders := scaled(360, cfg.ScaleRows)
 	nLineitem := nOrders * 3
 

@@ -238,11 +238,32 @@ func (g *Generator) makeProjection(child *logical.Expr, md *logical.Metadata) ([
 	return items, nil
 }
 
+// excludeCols returns cols with the members of drop removed, preserving order.
+func excludeCols(cols []scalar.ColumnID, drop scalar.ColSet) []scalar.ColumnID {
+	var out []scalar.ColumnID
+	for _, c := range cols {
+		if !drop.Contains(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 func numericCols(cols []scalar.ColumnID, md *logical.Metadata) []scalar.ColumnID {
 	var out []scalar.ColumnID
 	for _, c := range cols {
 		switch md.Column(c).Type {
 		case datum.TypeInt, datum.TypeFloat:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func intCols(cols []scalar.ColumnID, md *logical.Metadata) []scalar.ColumnID {
+	var out []scalar.ColumnID
+	for _, c := range cols {
+		if md.Column(c).Type == datum.TypeInt {
 			out = append(out, c)
 		}
 	}
@@ -369,15 +390,34 @@ func (g *Generator) makeGrouping(child *logical.Expr, md *logical.Metadata) ([]s
 	var aggs []scalar.Agg
 	nAggs := g.rng.Intn(3)
 	nums := numericCols(aggPool, md)
+	// Prefer aggregating columns outside the grouping key: an aggregate over
+	// a grouping column is constant per group, so MIN/MAX/SUM over it cannot
+	// distinguish a correct implementation from a subtly wrong one.
+	if nonGC := excludeCols(nums, gcSet); len(nonGC) > 0 {
+		nums = nonGC
+	}
+	// SUM and AVG accumulate in input order, so over float columns their low
+	// bits depend on the plan's row order — a false-mismatch source for any
+	// exact-equality oracle. Restrict them to integer columns, where
+	// accumulation is exact and order-independent.
+	ints := intCols(nums, md)
 	for i := 0; i < nAggs; i++ {
 		op := aggOps[g.rng.Intn(len(aggOps))]
+		pool := nums
+		if op == scalar.AggSum || op == scalar.AggAvg {
+			if len(ints) == 0 {
+				op = scalar.AggMin
+			} else {
+				pool = ints
+			}
+		}
 		var arg scalar.Expr
 		typ := datum.TypeInt
 		if op != scalar.AggCountStar {
-			if len(nums) == 0 {
+			if len(pool) == 0 {
 				op = scalar.AggCountStar
 			} else {
-				c := nums[g.rng.Intn(len(nums))]
+				c := pool[g.rng.Intn(len(pool))]
 				arg = &scalar.ColRef{ID: c}
 				switch op {
 				case scalar.AggCount:

@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"errors"
 	"fmt"
 
 	"qtrtest/internal/catalog"
@@ -50,6 +51,61 @@ type Report struct {
 	Undetermined []Undetermined
 }
 
+// BaseExec is one executed Plan(q): the reference side of the differential
+// oracle. The suite runner builds one per distinct query; the fuzzer builds
+// one per generated query and compares every Plan(q,¬R) and every
+// metamorphic variant against it through CompareEdge.
+type BaseExec struct {
+	Plan  *physical.Expr
+	Rows  []datum.Row
+	Hash  string
+	Order exec.PlanOrder
+}
+
+// ExecBase executes a base plan and captures everything CompareEdge needs.
+// maxRows > 0 caps the buffered result and maxWork > 0 caps the total rows
+// produced by all operators (the error is exec.ErrRowLimit either way).
+func ExecBase(plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) (*BaseExec, error) {
+	rows, err := exec.RunMax(plan, cat, maxRows, maxWork)
+	if err != nil {
+		return nil, err
+	}
+	return &BaseExec{Plan: plan, Rows: rows, Hash: plan.Hash(), Order: exec.RootOrder(plan)}, nil
+}
+
+// EdgeOutcome is CompareEdge's result: either the alternative plan was not
+// worth executing (identical to the base, or over the row cap), or the
+// order-aware oracle's verdict on its results.
+type EdgeOutcome struct {
+	// Skipped reports the plan was structurally identical to the base;
+	// identical plans are guaranteed to produce identical results, so the
+	// execution is skipped (paper footnote 1).
+	Skipped bool
+	// Capped reports the alternative exceeded maxRows or maxWork, so no
+	// comparison was possible (only with a positive cap).
+	Capped  bool
+	Verdict exec.Verdict
+	Detail  string
+}
+
+// CompareEdge executes an alternative plan for base's query and compares the
+// results with the order-aware oracle. maxRows > 0 caps the alternative's
+// buffered result; maxWork > 0 caps its total operator output.
+func CompareEdge(cat *catalog.Catalog, base *BaseExec, plan *physical.Expr, maxRows int, maxWork int64) (EdgeOutcome, error) {
+	if plan.Hash() == base.Hash {
+		return EdgeOutcome{Skipped: true}, nil
+	}
+	rows, err := exec.RunMax(plan, cat, maxRows, maxWork)
+	if errors.Is(err, exec.ErrRowLimit) {
+		return EdgeOutcome{Capped: true}, nil
+	}
+	if err != nil {
+		return EdgeOutcome{}, err
+	}
+	verdict, detail := exec.CompareResults(base.Rows, base.Order, rows, exec.RootOrder(plan))
+	return EdgeOutcome{Verdict: verdict, Detail: detail}, nil
+}
+
 // Run executes the solution's test suite against the database: for every
 // distinct query, Plan(q) runs once; for every edge, Plan(q,¬R) runs (unless
 // identical to Plan(q)) and its results are compared with the original by
@@ -81,29 +137,23 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 	}
 
 	// Phase 1: execute every Plan(q) once, in parallel.
-	type baseExec struct {
-		plan  *physical.Expr
-		rows  []datum.Row
-		hash  string
-		order exec.PlanOrder
-	}
-	bases := make([]baseExec, len(distinct))
+	bases := make([]*BaseExec, len(distinct))
 	err := par.ForEachErr(g.workers, len(distinct), func(i int) error {
 		qi := distinct[i]
 		q := g.Queries[qi]
-		plan, hash := q.BasePlan, q.BasePlanHash
+		plan := q.BasePlan
 		if plan == nil {
 			res, err := o.Optimize(q.Tree, q.MD, opt.Options{})
 			if err != nil {
 				return fmt.Errorf("suite: planning query %d: %w", qi, err)
 			}
-			plan, hash = res.Plan, res.Plan.Hash()
+			plan = res.Plan
 		}
-		rows, err := exec.Run(plan, cat)
+		base, err := ExecBase(plan, cat, 0, 0)
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d: %w", qi, err)
 		}
-		bases[i] = baseExec{plan: plan, rows: rows, hash: hash, order: exec.RootOrder(plan)}
+		bases[i] = base
 		return nil
 	})
 	if err != nil {
@@ -124,30 +174,27 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		a := sol.Assignments[i]
 		q := g.Queries[a.Query]
 		t := g.Targets[a.Target]
-		base := &bases[queryOf[a.Query]]
+		base := bases[queryOf[a.Query]]
 		var plan *physical.Expr
 		if plan = g.EdgePlan(a.Query, t); plan == nil {
 			return fmt.Errorf("suite: no plan for query %d with %s disabled", a.Query, t)
 		}
-		if plan.Hash() == base.hash {
-			// Identical plans are guaranteed to produce identical results;
-			// skip the execution (paper footnote 1).
-			edges[i].skipped = true
-			return nil
-		}
-		rows, err := exec.Run(plan, cat)
+		out, err := CompareEdge(cat, base, plan, 0, 0)
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d with %s disabled: %w", a.Query, t, err)
 		}
-		verdict, detail := exec.CompareResults(base.rows, base.order, rows, exec.RootOrder(plan))
-		switch verdict {
+		if out.Skipped {
+			edges[i].skipped = true
+			return nil
+		}
+		switch out.Verdict {
 		case exec.VerdictMismatch:
 			edges[i].mismatch = &Mismatch{
-				Target: t, Query: q, Detail: detail,
-				BasePlan: base.plan.String(), EdgePlan: plan.String(),
+				Target: t, Query: q, Detail: out.Detail,
+				BasePlan: base.Plan.String(), EdgePlan: plan.String(),
 			}
 		case exec.VerdictUndetermined:
-			edges[i].undetermined = &Undetermined{Target: t, Query: q, Detail: detail}
+			edges[i].undetermined = &Undetermined{Target: t, Query: q, Detail: out.Detail}
 		}
 		return nil
 	})

@@ -158,7 +158,7 @@ func RunAnalyze(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, *OpStat
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := runIter(it)
+	rows, err := runIter(it, 0)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -75,7 +75,7 @@ func (f *failingCloseIter) Close() error { return f.closeErr }
 func TestRunPropagatesCloseError(t *testing.T) {
 	closeErr := errors.New("close failed")
 	it := &failingCloseIter{rows: intRows(1, 2), closeErr: closeErr}
-	rows, err := runIter(it)
+	rows, err := runIter(it, 0)
 	if !errors.Is(err, closeErr) {
 		t.Fatalf("err = %v, want the Close error", err)
 	}
@@ -89,7 +89,7 @@ func TestRunPropagatesCloseError(t *testing.T) {
 func TestRunPrefersNextError(t *testing.T) {
 	nextErr := errors.New("next failed")
 	it := &failingCloseIter{rows: intRows(1), nextErr: nextErr, closeErr: errors.New("close failed")}
-	_, err := runIter(it)
+	_, err := runIter(it, 0)
 	if !errors.Is(err, nextErr) {
 		t.Fatalf("err = %v, want the Next error", err)
 	}

@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -56,12 +57,76 @@ func Run(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runIter(it)
+	return runIter(it, 0)
+}
+
+// ErrRowLimit reports that a plan exceeded a row cap passed to RunMax: its
+// result grew past maxRows, or its operators produced more rows in total
+// than maxWork. Fuzzing uses it to skip pathological plans (a dropped join
+// predicate turns a join into a cross product) instead of paying for them.
+var ErrRowLimit = errors.New("exec: result row cap exceeded")
+
+// RunMax executes a plan like Run but fails with ErrRowLimit as soon as the
+// result exceeds maxRows, or the rows produced by all operators together —
+// rescans included — exceed maxWork. A root-only cap cannot bound a plan
+// whose intermediate results explode while its root stays small (a dropped
+// join predicate under an aggregation); the work budget can. Zero or
+// negative caps mean uncapped.
+func RunMax(plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) ([]datum.Row, error) {
+	var it Iterator
+	var err error
+	if maxWork > 0 {
+		budget := maxWork
+		it, err = buildBudget(plan, cat, &budget)
+	} else {
+		it, err = Build(plan, cat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return runIter(it, maxRows)
+}
+
+// budgetIter charges every row an operator emits against a budget shared by
+// the whole plan. Plans execute single-threaded, so a plain counter works.
+type budgetIter struct {
+	Iterator
+	budget *int64
+}
+
+func (b *budgetIter) Next() (datum.Row, error) {
+	row, err := b.Iterator.Next()
+	if row != nil {
+		*b.budget--
+		if *b.budget < 0 {
+			return nil, ErrRowLimit
+		}
+	}
+	return row, err
+}
+
+// buildBudget compiles the plan with a work-counting wrapper at every
+// operator, mirroring Build.
+func buildBudget(plan *physical.Expr, cat *catalog.Catalog, budget *int64) (Iterator, error) {
+	kids := make([]Iterator, len(plan.Children))
+	for i, c := range plan.Children {
+		k, err := buildBudget(c, cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	it, err := buildOver(plan, kids, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetIter{Iterator: it, budget: budget}, nil
 }
 
 // runIter opens, drains and closes an iterator. A Close error on an
 // otherwise successful scan is a real failure and must not be swallowed.
-func runIter(it Iterator) (out []datum.Row, err error) {
+// maxRows > 0 caps the result size.
+func runIter(it Iterator, maxRows int) (out []datum.Row, err error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
@@ -77,6 +142,9 @@ func runIter(it Iterator) (out []datum.Row, err error) {
 		}
 		if row == nil {
 			return out, nil
+		}
+		if maxRows > 0 && len(out) >= maxRows {
+			return nil, ErrRowLimit
 		}
 		out = append(out, row)
 	}

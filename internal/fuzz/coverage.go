@@ -1,0 +1,28 @@
+package fuzz
+
+import (
+	"qtrtest/internal/fnv64"
+	"qtrtest/internal/physical"
+)
+
+// PlanShape fingerprints the operator structure of a physical plan: operator
+// kinds, join variants and tree shape, but none of the payloads (predicates,
+// columns, constants). Two plans share a shape when the optimizer made the
+// same chain of operator choices for them, which is the granularity QPG-style
+// coverage steering cares about: a novel shape means the generator pushed the
+// optimizer somewhere it had not been this campaign.
+func PlanShape(plan *physical.Expr) uint64 {
+	h := fnv64.New()
+	shapeInto(&h, plan)
+	return h.Sum()
+}
+
+func shapeInto(h *fnv64.Hash, e *physical.Expr) {
+	h.Int(int64(e.Op))
+	h.Int(int64(e.JoinType))
+	h.Byte('(')
+	for _, c := range e.Children {
+		shapeInto(h, c)
+	}
+	h.Byte(')')
+}

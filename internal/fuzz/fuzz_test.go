@@ -1,0 +1,110 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"qtrtest/internal/catalog"
+)
+
+// TestDeterminismAcrossWorkers is the campaign's core contract: the same
+// seed produces a byte-identical JSON report at every worker count.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.TPCHConfig{ScaleRows: 0.1, Seed: 1})
+	var reports [][]byte
+	for _, workers := range []int{1, 8} {
+		rep, err := Run(Config{Seed: 7, N: 96, Workers: workers, Catalog: cat, DB: "tpch"})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d: JSON: %v", workers, err)
+		}
+		reports = append(reports, data)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Errorf("reports differ between -workers 1 and 8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			reports[0], reports[1])
+	}
+}
+
+// TestPristineNoFindings: under the unmutated registry, neither the
+// differential nor the metamorphic oracle may fire — any finding here is a
+// false positive in the fuzzer itself.
+func TestPristineNoFindings(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+	for _, seed := range []int64{1, 42} {
+		rep, err := Run(Config{Seed: seed, N: 200, Workers: 8, Catalog: cat, DB: "tpch"})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if len(rep.Findings) != 0 {
+			f := rep.Findings[0]
+			t.Errorf("seed=%d: pristine campaign reported %d findings; first: kind=%s rule=%d rewrite=%q detail=%s sql=%s",
+				seed, len(rep.Findings), f.Kind, f.Rule, f.Rewrite, f.Detail, f.SQL)
+		}
+		if rep.Generated == 0 {
+			t.Errorf("seed=%d: no queries reached execution", seed)
+		}
+		if rep.PlanShapes < 10 {
+			t.Errorf("seed=%d: only %d distinct plan shapes; steering has nothing to work with", seed, rep.PlanShapes)
+		}
+	}
+}
+
+// TestPristineRandomCatalog runs the pristine oracle over a generated
+// catalog: the random-schema path must be as false-positive-free as TPC-H.
+func TestPristineRandomCatalog(t *testing.T) {
+	rep, err := Run(Config{Seed: 3, N: 150, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DB != "rand" {
+		t.Errorf("defaulted catalog should label the report rand, got %q", rep.DB)
+	}
+	if len(rep.Findings) != 0 {
+		f := rep.Findings[0]
+		t.Errorf("pristine random-catalog campaign reported %d findings; first: kind=%s rule=%d rewrite=%q detail=%s sql=%s",
+			len(rep.Findings), f.Kind, f.Rule, f.Rewrite, f.Detail, f.SQL)
+	}
+	if rep.Generated == 0 {
+		t.Error("no queries reached execution on the random catalog")
+	}
+}
+
+// TestReproLine pins the reproducer format: it must name the seed, db and
+// mutant, and promise worker-independence.
+func TestReproLine(t *testing.T) {
+	cfg := Config{Seed: 9, N: 50, DB: "tpch", Mutant: "wrong-agg"}
+	cfg.setDefaults()
+	got := cfg.repro()
+	want := "qtrtest -db tpch -seed 9 fuzz -n 50 -mutant wrong-agg  # any -workers"
+	if got != want {
+		t.Errorf("repro line:\n got %q\nwant %q", got, want)
+	}
+	rcfg := Config{Seed: 4}
+	rcfg.setDefaults()
+	got = rcfg.repro()
+	want = "qtrtest -seed 4 fuzz -n 500 -randcat  # any -workers"
+	if got != want {
+		t.Errorf("randcat repro line:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestRandomCatalogDeterministic: the same seed must build the same catalog.
+func TestRandomCatalogDeterministic(t *testing.T) {
+	a, b := RandomCatalog(11), RandomCatalog(11)
+	an, bn := a.TableNames(), b.TableNames()
+	if len(an) == 0 || len(an) != len(bn) {
+		t.Fatalf("table counts differ: %d vs %d", len(an), len(bn))
+	}
+	for i := range an {
+		ta, _ := a.Table(an[i])
+		tb, _ := b.Table(bn[i])
+		if ta.Name != tb.Name || len(ta.Columns) != len(tb.Columns) || len(ta.Rows) != len(tb.Rows) {
+			t.Errorf("table %d differs: %s/%d cols/%d rows vs %s/%d cols/%d rows",
+				i, ta.Name, len(ta.Columns), len(ta.Rows), tb.Name, len(tb.Columns), len(tb.Rows))
+		}
+	}
+}

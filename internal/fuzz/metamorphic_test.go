@@ -1,0 +1,119 @@
+package fuzz
+
+import (
+	"testing"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/core/suite"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/rules"
+)
+
+// metamorphicCases are hand-written queries that exercise every rewrite in
+// the catalog. Table names are per-catalog; the column aliases follow the
+// sqlgen convention so rewritten trees re-render cleanly.
+var metamorphicCases = map[string][]string{
+	"tpch": {
+		// Multi-conjunct Select: reorder-predicates applies.
+		"SELECT * FROM (SELECT s_suppkey AS c1, s_nationkey AS c2, s_acctbal AS c3 FROM supplier) AS t1 WHERE ((c1 > 3) AND (c2 > 1))",
+		// Inner join: commute-joins applies (and its identity Project).
+		"SELECT * FROM (SELECT n_nationkey AS c1, n_name AS c2 FROM nation) AS t1 JOIN (SELECT s_suppkey AS c3, s_nationkey AS c4 FROM supplier) AS t2 ON (c1 = c4)",
+		// Join with compound predicate: both conjunct reversal and commutation.
+		"SELECT * FROM (SELECT c_custkey AS c1, c_nationkey AS c2 FROM customer) AS t1 JOIN (SELECT o_orderkey AS c3, o_custkey AS c4, o_totalprice AS c5 FROM orders) AS t2 ON ((c1 = c4) AND (c1 <= c3))",
+		// Aggregation above a join: rewrites below a GroupBy.
+		"SELECT c2, MIN(c3) AS c9 FROM (SELECT * FROM (SELECT s_suppkey AS c1, s_nationkey AS c2, s_acctbal AS c3 FROM supplier) AS t1 WHERE ((c2 >= 0) AND (c3 > 0.0))) AS t3 GROUP BY c2",
+		// Sorted output: rewrites must preserve the root ordering contract.
+		"SELECT * FROM (SELECT p_partkey AS c1, p_size AS c2 FROM part) AS t1 WHERE ((c2 > 10) AND (c1 > 0)) ORDER BY c1",
+	},
+	"star": {
+		"SELECT * FROM (SELECT f_salekey AS c1, f_storekey AS c2, f_quantity AS c3 FROM sales) AS t1 WHERE ((c3 > 1) AND (c2 > 2))",
+		"SELECT * FROM (SELECT s_storekey AS c1, s_name AS c2 FROM store) AS t1 JOIN (SELECT f_salekey AS c3, f_storekey AS c4 FROM sales) AS t2 ON (c1 = c4)",
+		"SELECT c2, COUNT(*) AS c9, MAX(c3) AS c10 FROM (SELECT * FROM (SELECT f_salekey AS c1, f_storekey AS c2, f_quantity AS c3 FROM sales) AS t1 WHERE ((c1 > 0) AND (c3 >= 0))) AS t3 GROUP BY c2",
+	},
+}
+
+// TestRewritesPreserveResults: under the pristine registry, every applicable
+// metamorphic rewrite must be result-equivalent to the original query on
+// both shipped catalogs. A mismatch here means a rewrite is wrong — the
+// campaign would report optimizer bugs that are really fuzzer bugs.
+func TestRewritesPreserveResults(t *testing.T) {
+	catalogs := map[string]*catalog.Catalog{
+		"tpch": catalog.LoadTPCH(catalog.DefaultTPCHConfig()),
+		"star": catalog.LoadStar(catalog.DefaultStarConfig()),
+	}
+	for db, cases := range metamorphicCases {
+		cat := catalogs[db]
+		o := opt.New(rules.DefaultRegistry(), cat)
+		c := &campaign{cfg: Config{Catalog: cat}, opt: o}
+		applied := make(map[string]int)
+		for _, sql := range cases {
+			bound, err := bind.BindSQL(sql, cat)
+			if err != nil {
+				t.Fatalf("%s: bind %q: %v", db, sql, err)
+			}
+			res, err := o.Optimize(bound.Tree, bound.MD, opt.Options{})
+			if err != nil {
+				t.Fatalf("%s: optimize %q: %v", db, sql, err)
+			}
+			base, err := suite.ExecBase(res.Plan, cat, 0, 0)
+			if err != nil {
+				t.Fatalf("%s: execute %q: %v", db, sql, err)
+			}
+			for _, rw := range Rewrites() {
+				alt := rw.Apply(bound.Tree, bound.MD)
+				if alt == nil {
+					continue
+				}
+				applied[rw.Name]++
+				altPlan, err := c.planTree(alt, bound.MD)
+				if err != nil {
+					t.Errorf("%s: rewrite %s of %q failed to plan: %v", db, rw.Name, sql, err)
+					continue
+				}
+				out, err := suite.CompareEdge(cat, base, altPlan, 0, 0)
+				if err != nil {
+					t.Errorf("%s: rewrite %s of %q failed to execute: %v", db, rw.Name, sql, err)
+					continue
+				}
+				if !out.Skipped && out.Verdict == exec.VerdictMismatch {
+					t.Errorf("%s: rewrite %s changed the results of %q: %s\nbase plan:\n%s\nalt plan:\n%s",
+						db, rw.Name, sql, out.Detail, res.Plan, altPlan)
+				}
+			}
+		}
+		// Equivalence that never ran proves nothing: every rewrite must have
+		// applied to at least one case per catalog.
+		for _, rw := range Rewrites() {
+			if applied[rw.Name] == 0 {
+				t.Errorf("%s: rewrite %s applied to no test case", db, rw.Name)
+			}
+		}
+	}
+}
+
+// TestRewritesReturnNilWhenInapplicable pins the applicability contract:
+// rewrites must decline rather than return an unchanged tree (a no-op
+// rewrite would make every comparison a skipped self-comparison).
+func TestRewritesReturnNilWhenInapplicable(t *testing.T) {
+	cat := catalog.LoadTPCH(catalog.DefaultTPCHConfig())
+	// Single-conjunct filter, no joins: only redundant-filter applies.
+	bound, err := bind.BindSQL("SELECT * FROM (SELECT n_nationkey AS c1, n_name AS c2 FROM nation) AS t1 WHERE (c1 > 5)", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range Rewrites() {
+		alt := rw.Apply(bound.Tree, bound.MD)
+		switch rw.Name {
+		case "reorder-predicates", "commute-joins":
+			if alt != nil {
+				t.Errorf("rewrite %s should not apply to a single-conjunct join-free query", rw.Name)
+			}
+		case "redundant-filter":
+			if alt == nil {
+				t.Errorf("rewrite %s should always apply to a query with output columns", rw.Name)
+			}
+		}
+	}
+}

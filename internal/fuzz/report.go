@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding kinds.
+const (
+	// KindDifferential is a Plan(q) vs Plan(q,¬R) result mismatch.
+	KindDifferential = "differential"
+	// KindMetamorphic is a mismatch between a query and a known-equivalent
+	// rewrite of it.
+	KindMetamorphic = "metamorphic"
+	// KindExecError is a plan the executor rejected or failed on — a
+	// plan-construction bug rather than a wrong result.
+	KindExecError = "exec-error"
+	// KindRewriteError means a metamorphic rewrite's output failed to
+	// render, bind or plan: a bug in the fuzzer's own rewrite catalog, kept
+	// visible so the equivalence tests pin it to zero.
+	KindRewriteError = "rewrite-error"
+)
+
+// Finding is one reported fault, with the evidence and a reproducer line.
+type Finding struct {
+	// Query is the campaign index of the generated query; Seed is its
+	// derived per-query seed (par.DeriveSeed(campaign seed, Query)).
+	Query int    `json:"query"`
+	Seed  int64  `json:"seed"`
+	Kind  string `json:"kind"`
+	// Rule is the disabled rule of a differential finding.
+	Rule int `json:"rule,omitempty"`
+	// Rewrite is the metamorphic rewrite name of a metamorphic finding.
+	Rewrite string `json:"rewrite,omitempty"`
+	SQL     string `json:"sql"`
+	// RuleSet is RuleSet(q) of the original query: the rule set recorded in
+	// the reproducer.
+	RuleSet string `json:"rule_set"`
+	Detail  string `json:"detail"`
+	// ShrunkSQL and ShrunkOps describe the minimized query that still trips
+	// the same oracle (only the first finding of a campaign's query is
+	// shrunk when many queries trip at once).
+	ShrunkSQL string `json:"shrunk_sql,omitempty"`
+	ShrunkOps int    `json:"shrunk_ops,omitempty"`
+	BasePlan  string `json:"base_plan,omitempty"`
+	AltPlan   string `json:"alt_plan,omitempty"`
+	// Repro replays the campaign that produced this finding; the report is
+	// byte-identical for every -workers value.
+	Repro string `json:"repro"`
+}
+
+// Report is a fuzz campaign's outcome. Its JSON form is deterministic: same
+// seed and configuration give byte-identical reports at any worker count
+// (provided no -timeout cut the campaign short).
+type Report struct {
+	Schema string `json:"schema"`
+	DB     string `json:"db"`
+	Mutant string `json:"mutant,omitempty"`
+	Seed   int64  `json:"seed"`
+	N      int    `json:"n"`
+	// Generated counts queries that reached execution; Skipped tallies the
+	// rest by pipeline stage.
+	Generated int            `json:"generated"`
+	Skipped   map[string]int `json:"skipped,omitempty"`
+	// PlanShapes is the size of the plan-shape coverage map at campaign end.
+	PlanShapes int `json:"plan_shapes"`
+	// PlanExecutions counts plans actually executed (identical disabled-rule
+	// plans are skipped, as in the suite runner).
+	PlanExecutions     int `json:"plan_executions"`
+	DifferentialChecks int `json:"differential_checks"`
+	MetamorphicChecks  int `json:"metamorphic_checks"`
+	Undetermined       int `json:"undetermined"`
+	// TimedOut reports the campaign stopped at a round boundary because the
+	// -timeout budget ran out; a timed-out report is NOT
+	// workers-deterministic.
+	TimedOut bool      `json:"timed_out,omitempty"`
+	Findings []Finding `json:"findings"`
+}
+
+// ReportSchema identifies the JSON report format.
+const ReportSchema = "qtrtest-fuzz/v1"
+
+// JSON renders the report in its stable wire form.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Print renders the campaign summary in the style of `qtrtest mutate`.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "fuzz campaign: db=%s seed=%d n=%d", r.DB, r.Seed, r.N)
+	if r.Mutant != "" {
+		fmt.Fprintf(w, " mutant=%s", r.Mutant)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %d queries executed (%s), %d distinct plan shapes\n",
+		r.Generated, r.skipSummary(), r.PlanShapes)
+	fmt.Fprintf(w, "  %d plan executions: %d differential checks, %d metamorphic checks, %d undetermined\n",
+		r.PlanExecutions, r.DifferentialChecks, r.MetamorphicChecks, r.Undetermined)
+	if r.TimedOut {
+		fmt.Fprintln(w, "  campaign stopped early: -timeout budget exhausted")
+	}
+	fmt.Fprintf(w, "  findings: %d\n", len(r.Findings))
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		head := f.Kind
+		switch f.Kind {
+		case KindDifferential:
+			head = fmt.Sprintf("differential ¬%d", f.Rule)
+		case KindMetamorphic:
+			head = fmt.Sprintf("metamorphic %s", f.Rewrite)
+		}
+		fmt.Fprintf(w, "  [%d] query %d (seed %d) %s: %s\n", i+1, f.Query, f.Seed, head, f.Detail)
+		fmt.Fprintf(w, "      sql: %s\n", f.SQL)
+		if f.ShrunkSQL != "" {
+			fmt.Fprintf(w, "      shrunk (%d ops): %s\n", f.ShrunkOps, f.ShrunkSQL)
+		}
+		fmt.Fprintf(w, "      rule set: %s\n", f.RuleSet)
+		fmt.Fprintf(w, "      repro: %s\n", f.Repro)
+	}
+}
+
+func (r *Report) skipSummary() string {
+	if len(r.Skipped) == 0 {
+		return fmt.Sprintf("all %d generated", r.N)
+	}
+	keys := make([]string, 0, len(r.Skipped))
+	for k := range r.Skipped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s %d", k, r.Skipped[k])
+	}
+	return "skipped: " + strings.Join(parts, ", ")
+}

@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"errors"
+
+	"qtrtest/internal/bind"
+	"qtrtest/internal/core/suite"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/opt"
+	"qtrtest/internal/rules"
+	"qtrtest/internal/sqlgen"
+)
+
+// shrinkFinding minimizes the finding's query tree while the same oracle
+// keeps failing, and records the shrunk SQL on the public finding. Each kind
+// gets its own keep predicate; rewrite-error findings are left unshrunk — a
+// broken rewrite wants its full originating query as context.
+func (c *campaign) shrinkFinding(f *finding) {
+	var keep func(*logical.Expr) bool
+	switch f.pub.Kind {
+	case KindDifferential:
+		keep = func(t *logical.Expr) bool {
+			return c.diffTrips(t, f.md, rules.ID(f.pub.Rule))
+		}
+	case KindMetamorphic:
+		keep = func(t *logical.Expr) bool {
+			return c.metaTrips(t, f.md, f.pub.Rewrite)
+		}
+	case KindExecError:
+		keep = func(t *logical.Expr) bool {
+			return c.execErrs(t, f.md, rules.ID(f.pub.Rule))
+		}
+	default:
+		return
+	}
+	if !keep(f.tree) {
+		// The original no longer trips when re-derived (it should — every
+		// stage is deterministic — so this is pure defensiveness): report
+		// it unshrunk rather than attach a wrong reproducer.
+		return
+	}
+	shrunk := Shrink(f.tree, keep, c.cfg.MaxShrinkChecks)
+	sqlText, err := sqlgen.Generate(shrunk, f.md)
+	if err != nil {
+		return
+	}
+	f.pub.ShrunkSQL = sqlText
+	f.pub.ShrunkOps = shrunk.CountOps()
+}
+
+// rebindPlan runs a candidate tree through the standard pipeline up to the
+// optimized base plan, returning the re-bound tree alongside.
+func (c *campaign) rebind(t *logical.Expr, md *logical.Metadata) (*bind.Bound, error) {
+	sqlText, err := sqlgen.Generate(t, md)
+	if err != nil {
+		return nil, err
+	}
+	return bind.BindSQL(sqlText, c.cfg.Catalog)
+}
+
+// diffTrips reports whether the differential oracle still flags the query
+// with rule id disabled.
+func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID) bool {
+	bound, err := c.rebind(t, md)
+	if err != nil {
+		return false
+	}
+	res, err := c.opt.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
+		return false
+	}
+	base, err := suite.ExecBase(res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	if err != nil {
+		return false
+	}
+	altRes, err := c.opt.Optimize(bound.Tree, bound.MD, opt.Options{Disabled: rules.NewSet(id)})
+	if err != nil || altRes.Plan.Cost > c.cfg.MaxCost {
+		return false
+	}
+	out, err := suite.CompareEdge(c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
+	return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
+}
+
+// metaTrips reports whether the named metamorphic rewrite still applies to
+// the query and still produces mismatching results.
+func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string) bool {
+	bound, err := c.rebind(t, md)
+	if err != nil {
+		return false
+	}
+	res, err := c.opt.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
+		return false
+	}
+	base, err := suite.ExecBase(res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	if err != nil {
+		return false
+	}
+	for _, rw := range c.rewrites {
+		if rw.Name != name {
+			continue
+		}
+		alt := rw.Apply(bound.Tree, bound.MD)
+		if alt == nil {
+			return false
+		}
+		altPlan, err := c.planTree(alt, bound.MD)
+		if err != nil || altPlan.Cost > c.cfg.MaxCost {
+			return false
+		}
+		out, err := suite.CompareEdge(c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
+		return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
+	}
+	return false
+}
+
+// execErrs reports whether the pipeline still fails with an execution error
+// (not the row cap): on the base plan when id is 0, else on Plan(q,¬id).
+func (c *campaign) execErrs(t *logical.Expr, md *logical.Metadata, id rules.ID) bool {
+	bound, err := c.rebind(t, md)
+	if err != nil {
+		return false
+	}
+	res, err := c.opt.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
+		return false
+	}
+	plan := res.Plan
+	if id != 0 {
+		altRes, err := c.opt.Optimize(bound.Tree, bound.MD, opt.Options{Disabled: rules.NewSet(id)})
+		if err != nil || altRes.Plan.Cost > c.cfg.MaxCost {
+			return false
+		}
+		plan = altRes.Plan
+	}
+	_, err = exec.RunMax(plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	return err != nil && !errors.Is(err, exec.ErrRowLimit)
+}

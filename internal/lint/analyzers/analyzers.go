@@ -15,14 +15,17 @@ import (
 
 // resultAffecting lists the package-path prefixes where nondeterminism
 // taints results: the optimizer search, rule substitutions, execution, the
-// generation/compression core, and fault injection. Telemetry-only wall
-// clock reads inside them carry a //qtrlint:allow wallclock annotation.
+// generation/compression core, fault injection, and the fuzzing campaign
+// (whose reports promise byte-identical output at any worker count).
+// Telemetry-only wall clock reads inside them carry a
+// //qtrlint:allow wallclock annotation.
 var resultAffecting = []string{
 	"qtrtest/internal/core",
 	"qtrtest/internal/rules",
 	"qtrtest/internal/opt",
 	"qtrtest/internal/exec",
 	"qtrtest/internal/mutate",
+	"qtrtest/internal/fuzz",
 }
 
 func isResultAffecting(pkgPath string) bool {

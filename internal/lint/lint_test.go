@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// check parses and typechecks one or more sources (filename → content) and
+// runs the analyzers over them.
+func check(t *testing.T, sources map[string]string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	// Deterministic file order so diagnostics sort stably.
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	var tc types.Config
+	pkg, err := tc.Check("p", fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Run(fset, files, pkg, info, analyzers)
+}
+
+// reportCalls flags every function call; simple enough that tests can place
+// findings on exact lines.
+var reportCalls = &Analyzer{
+	Name: "calls",
+	Doc:  "flags every call expression",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call found")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestAnalyzerReports(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": "package p\nfunc f() int { return g() }\nfunc g() int { return 0 }\n",
+	}, reportCalls)
+	if len(diags) != 1 || diags[0].Analyzer != "calls" {
+		t.Fatalf("want one calls diagnostic, got %+v", diags)
+	}
+}
+
+func TestSuppressionOnSameAndPreviousLine(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": `package p
+
+func f() int { return g() } //qtrlint:allow calls same-line suppression
+func g() int {
+	//qtrlint:allow calls previous-line suppression
+	return f()
+}
+`,
+	}, reportCalls)
+	if len(diags) != 0 {
+		t.Fatalf("both calls should be suppressed, got %+v", diags)
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotApply(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": `package p
+
+func f() int { return g() } //qtrlint:allow other not-this-analyzer
+func g() int { return 0 }
+`,
+	}, reportCalls)
+	// The call is still reported, and the suppression for "other" that
+	// suppressed nothing is reported too.
+	var kinds []string
+	for _, d := range diags {
+		kinds = append(kinds, d.Analyzer+": "+d.Message)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want finding + unused suppression, got %v", kinds)
+	}
+	if diags[0].Analyzer != "calls" {
+		t.Errorf("first diagnostic should be the call, got %v", kinds)
+	}
+	if diags[1].Analyzer != "allow" || !strings.Contains(diags[1].Message, "suppresses nothing") {
+		t.Errorf("second diagnostic should flag the unused suppression, got %v", kinds)
+	}
+}
+
+func TestSuppressionWithoutReasonIsReportedAndIgnored(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": `package p
+
+func f() int { return g() } //qtrlint:allow calls
+func g() int { return 0 }
+`,
+	}, reportCalls)
+	if len(diags) != 2 {
+		t.Fatalf("want reason-missing + unsuppressed finding, got %+v", diags)
+	}
+	// Both land on the same line; assert by analyzer rather than order.
+	byAnalyzer := map[string]string{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = d.Message
+	}
+	if !strings.Contains(byAnalyzer["allow"], "needs a reason") {
+		t.Errorf("missing reason not reported: %+v", diags)
+	}
+	if _, ok := byAnalyzer["calls"]; !ok {
+		t.Errorf("reasonless suppression must not suppress: %+v", diags)
+	}
+}
+
+func TestBareSuppressionNeedsAnalyzerName(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": "package p\n\n//qtrlint:allow\nfunc f() {}\n",
+	}, reportCalls)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs an analyzer name") {
+		t.Fatalf("bare qtrlint:allow not flagged: %+v", diags)
+	}
+}
+
+func TestUnusedSuppressionReported(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": `package p
+
+//qtrlint:allow calls nothing to suppress here
+var x = 1
+`,
+	}, reportCalls)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "suppresses nothing") {
+		t.Fatalf("unused suppression not reported: %+v", diags)
+	}
+}
+
+func TestTestFilesExcluded(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a_test.go": "package p\nfunc f() int { return g() }\nfunc g() int { return 0 }\n",
+	}, reportCalls)
+	if len(diags) != 0 {
+		t.Fatalf("findings reported in _test.go files: %+v", diags)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	diags := check(t, map[string]string{
+		"a.go": "package p\nfunc a() int { return b() }\nfunc b() int { return a() }\n",
+	}, reportCalls)
+	if len(diags) != 2 {
+		t.Fatalf("want two findings, got %+v", diags)
+	}
+	fset := token.NewFileSet()
+	_ = fset
+	if diags[0].Pos >= diags[1].Pos {
+		t.Errorf("diagnostics out of source order: %v", diags)
+	}
+}
+
+func TestPkgNameOf(t *testing.T) {
+	// Build the Uses entry by hand: a selector rand.Intn whose base
+	// identifier resolves to the imported math/rand package.
+	id := ast.NewIdent("rand")
+	sel := &ast.SelectorExpr{X: id, Sel: ast.NewIdent("Intn")}
+	info := &types.Info{Uses: map[*ast.Ident]types.Object{
+		id: types.NewPkgName(token.NoPos, nil, "rand", types.NewPackage("math/rand", "rand")),
+	}}
+	pkgPath, selName := PkgNameOf(info, sel)
+	if pkgPath != "math/rand" || selName != "Intn" {
+		t.Errorf("PkgNameOf = %q.%q, want math/rand.Intn", pkgPath, selName)
+	}
+	// Non-selector and non-package selectors resolve to "".
+	if p, _ := PkgNameOf(info, ast.NewIdent("x")); p != "" {
+		t.Errorf("PkgNameOf on ident = %q, want empty", p)
+	}
+	other := &ast.SelectorExpr{X: ast.NewIdent("v"), Sel: ast.NewIdent("Field")}
+	if p, _ := PkgNameOf(info, other); p != "" {
+		t.Errorf("PkgNameOf on value selector = %q, want empty", p)
+	}
+}
+
+// TestVetConfigParsing pins the subset of cmd/go's vet.cfg JSON the driver
+// consumes: field names must match the (unpublished) protocol exactly.
+func TestVetConfigParsing(t *testing.T) {
+	raw := `{
+		"ID": "qtrtest/internal/fuzz",
+		"Compiler": "gc",
+		"Dir": "/src/internal/fuzz",
+		"ImportPath": "qtrtest/internal/fuzz",
+		"GoFiles": ["/src/internal/fuzz/fuzz.go", "/src/internal/fuzz/shrink.go"],
+		"GoVersion": "go1.22",
+		"ImportMap": {"qtrtest/internal/par": "qtrtest/internal/par"},
+		"PackageFile": {"qtrtest/internal/par": "/cache/par.a"},
+		"Standard": {"fmt": true},
+		"PackageVetx": {},
+		"VetxOnly": false,
+		"VetxOutput": "/cache/fuzz.vetx",
+		"SucceedOnTypecheckFailure": false
+	}`
+	var cfg config
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ImportPath != "qtrtest/internal/fuzz" || cfg.Compiler != "gc" {
+		t.Errorf("basic fields not parsed: %+v", cfg)
+	}
+	if len(cfg.GoFiles) != 2 || cfg.GoFiles[1] != "/src/internal/fuzz/shrink.go" {
+		t.Errorf("GoFiles not parsed: %v", cfg.GoFiles)
+	}
+	if cfg.PackageFile["qtrtest/internal/par"] != "/cache/par.a" {
+		t.Errorf("PackageFile not parsed: %v", cfg.PackageFile)
+	}
+	if cfg.VetxOnly || cfg.VetxOutput != "/cache/fuzz.vetx" {
+		t.Errorf("vetx fields not parsed: %+v", cfg)
+	}
+	if !cfg.Standard["fmt"] {
+		t.Errorf("Standard not parsed: %v", cfg.Standard)
+	}
+}

@@ -1,0 +1,86 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabledSessionIsNil(t *testing.T) {
+	s, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start with no paths: %v", err)
+	}
+	if s != nil {
+		t.Fatalf("Start with no paths returned a session: %+v", s)
+	}
+	// Stop must be safe on the nil session every caller defers.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop on nil session: %v", err)
+	}
+}
+
+func TestProfilesWrittenAndClosed(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	s, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate a little so the heap profile has something to record.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 1024)
+	}
+	_ = sink
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	// A second Stop must be a no-op, not a double close.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestMemOnlySession(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	s, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(mem); err != nil {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+}
+
+func TestStartCreateErrorPropagates(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing", "cpu.pprof")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("Start with uncreatable cpu path succeeded")
+	}
+}
+
+func TestStopHeapCreateErrorPropagates(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing", "mem.pprof")
+	s, err := Start("", bad)
+	if err != nil {
+		// The mem path is only opened at Stop, so Start must not fail.
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Stop(); err == nil {
+		t.Fatal("Stop with uncreatable mem path succeeded")
+	}
+}

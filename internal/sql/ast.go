@@ -163,7 +163,8 @@ func (*InExpr) expr()      {}
 func (*BetweenExpr) expr() {}
 func (*CallExpr) expr()    {}
 
-// FormatExpr renders an expression AST back to SQL (for diagnostics).
+// FormatExpr renders an expression AST back to parseable SQL, fully
+// parenthesized (subqueries print via FormatStmt).
 func FormatExpr(e Expr) string {
 	switch t := e.(type) {
 	case *Ident:
@@ -194,10 +195,24 @@ func FormatExpr(e Expr) string {
 		}
 		return "(" + FormatExpr(t.E) + " IS NULL)"
 	case *ExistsExpr:
+		// Parenthesized so a NOT EXISTS inside a NotExpr cannot fuse with
+		// the outer NOT when re-parsed.
 		if t.Neg {
-			return "NOT EXISTS (...)"
+			return "(NOT EXISTS (" + FormatStmt(t.Q) + "))"
 		}
-		return "EXISTS (...)"
+		return "(EXISTS (" + FormatStmt(t.Q) + "))"
+	case *InExpr:
+		parts := make([]string, len(t.List))
+		for i, e := range t.List {
+			parts[i] = FormatExpr(e)
+		}
+		op := " IN ("
+		if t.Neg {
+			op = " NOT IN ("
+		}
+		return "(" + FormatExpr(t.E) + op + strings.Join(parts, ", ") + "))"
+	case *BetweenExpr:
+		return "(" + FormatExpr(t.E) + " BETWEEN " + FormatExpr(t.Lo) + " AND " + FormatExpr(t.Hi) + ")"
 	case *CallExpr:
 		if t.Star {
 			return t.Name + "(*)"

@@ -1,0 +1,121 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatStmt renders a statement AST back to parseable SQL. The output is a
+// printing fixpoint: Parse(FormatStmt(s)) succeeds for every s produced by
+// Parse, and formatting the re-parsed statement reproduces the same text.
+// Expressions print fully parenthesized, so the text encodes the tree shape
+// rather than relying on precedence.
+func FormatStmt(s Stmt) string {
+	var sb strings.Builder
+	formatStmt(&sb, s)
+	return sb.String()
+}
+
+func formatStmt(sb *strings.Builder, s Stmt) {
+	switch t := s.(type) {
+	case *Select:
+		formatSelect(sb, t)
+	case *SetOp:
+		// The parser builds UNION ALL left-associative, so the left side
+		// prints flat; a set-op right side needs parentheses to parse back
+		// into the same shape.
+		formatStmt(sb, t.Left)
+		sb.WriteString(" UNION ALL ")
+		if _, ok := t.Right.(*SetOp); ok {
+			sb.WriteByte('(')
+			formatStmt(sb, t.Right)
+			sb.WriteByte(')')
+		} else {
+			formatStmt(sb, t.Right)
+		}
+	}
+}
+
+func formatSelect(sb *strings.Builder, s *Select) {
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		sb.WriteByte('*')
+	} else {
+		for i, item := range s.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(item.E))
+			if item.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(item.Alias)
+			}
+		}
+	}
+	sb.WriteString(" FROM ")
+	formatFrom(sb, s.From)
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(FormatExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(e))
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(FormatExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(k.E))
+			if k.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(sb, " LIMIT %d", *s.Limit)
+	}
+}
+
+func formatFrom(sb *strings.Builder, f FromItem) {
+	switch t := f.(type) {
+	case *TableRef:
+		sb.WriteString(t.Name)
+		if t.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(t.Alias)
+		}
+	case *Derived:
+		sb.WriteByte('(')
+		formatStmt(sb, t.Q)
+		sb.WriteString(") AS ")
+		sb.WriteString(t.Alias)
+	case *JoinRef:
+		// Join chains are left-associative like the parser's, so the left
+		// side prints flat; parseFromPrimary never yields a JoinRef on the
+		// right, so no parentheses are needed there either.
+		formatFrom(sb, t.L)
+		if t.Kind == JoinLeftOuter {
+			sb.WriteString(" LEFT JOIN ")
+		} else {
+			sb.WriteString(" JOIN ")
+		}
+		formatFrom(sb, t.R)
+		sb.WriteString(" ON ")
+		sb.WriteString(FormatExpr(t.On))
+	}
+}

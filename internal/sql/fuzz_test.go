@@ -1,0 +1,41 @@
+package sql
+
+import "testing"
+
+// FuzzParseRoundTrip checks the printer/parser fixpoint: any input the
+// parser accepts must format to SQL the parser accepts again, and the
+// re-parsed statement must format to the identical text. Parser panics on
+// arbitrary input are caught by the fuzz driver itself.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM t",
+		"SELECT DISTINCT a, b AS x FROM t AS u WHERE (a > 1) AND b <= 2.5",
+		"SELECT a FROM t WHERE a IS NOT NULL ORDER BY a DESC LIMIT 3",
+		"SELECT n_name FROM nation JOIN supplier ON n_nationkey = s_nationkey",
+		"SELECT a FROM t LEFT OUTER JOIN u ON t.a = u.b WHERE u.b IS NULL",
+		"SELECT c1, COUNT(*) FROM (SELECT a AS c1 FROM t) AS d GROUP BY c1 HAVING COUNT(*) > 1",
+		"SELECT a FROM t WHERE EXISTS (SELECT b FROM u WHERE u.b = t.a)",
+		"SELECT a FROM t WHERE NOT EXISTS (SELECT b FROM u) UNION ALL SELECT c FROM v",
+		"SELECT a FROM t WHERE a IN (1, 2, 3) OR a BETWEEN 10 AND 20",
+		"SELECT a FROM t WHERE NOT (a = 1 OR a = 'it''s')",
+		"SELECT -1 + 2 * 3 - a FROM t WHERE x <> 1e6",
+		"SELECT SUM(a + b) AS s FROM t GROUP BY c, d ORDER BY s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s1, err := Parse(input)
+		if err != nil {
+			return
+		}
+		p1 := FormatStmt(s1)
+		s2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("formatted SQL does not re-parse: %v\ninput: %q\nformatted: %q", err, input, p1)
+		}
+		p2 := FormatStmt(s2)
+		if p1 != p2 {
+			t.Fatalf("format is not a fixpoint:\ninput:  %q\nfirst:  %q\nsecond: %q", input, p1, p2)
+		}
+	})
+}

@@ -3,7 +3,6 @@ package sql
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokenKind classifies lexer tokens.
@@ -144,10 +143,13 @@ func lex(input string) ([]token, error) {
 	return toks, nil
 }
 
+// Identifiers are ASCII-only: the lexer scans bytes, and treating a byte
+// >= 0x80 as a unicode letter would corrupt non-UTF-8 input when the
+// identifier is later case-folded.
 func isIdentStart(r rune) bool {
-	return unicode.IsLetter(r) || r == '_'
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 func isIdentPart(r rune) bool {
-	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+	return isIdentStart(r) || (r >= '0' && r <= '9')
 }

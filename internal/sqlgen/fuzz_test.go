@@ -1,0 +1,116 @@
+package sqlgen
+
+import (
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/scalar"
+	"qtrtest/internal/sql"
+)
+
+// FuzzSQLGen builds a logical tree from an arbitrary byte program and checks
+// that whatever Generate accepts renders to SQL the parser accepts back: the
+// generator's output grammar must stay inside the parser's input grammar, or
+// every downstream pipeline (fuzz campaigns, shrinking, pattern generation)
+// silently loses queries at the re-parse step.
+func FuzzSQLGen(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 2, 1, 3, 2})
+	f.Add([]byte{2, 5, 0, 0, 4, 1, 1, 6})
+	f.Add([]byte{7, 3, 3, 9, 250, 11, 0, 42, 5, 5})
+	f.Add([]byte{4, 4, 4, 4, 8, 8, 8, 8, 1, 2, 3, 4, 5, 6, 7})
+	cat := catalog.LoadTPCH(catalog.TPCHConfig{ScaleRows: 0.01, Seed: 1})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		md := logical.NewMetadata(cat)
+		tree := buildFuzzTree(md, prog)
+		if tree == nil {
+			return
+		}
+		sqlText, err := Generate(tree, md)
+		if err != nil {
+			// The generator may reject a tree (e.g. no output columns);
+			// only accepted trees carry the re-parse obligation.
+			return
+		}
+		if _, perr := sql.Parse(sqlText); perr != nil {
+			t.Fatalf("generated SQL does not re-parse: %v\nsql: %s\ntree:\n%s", perr, sqlText, tree)
+		}
+	})
+}
+
+// buildFuzzTree interprets prog as a construction script: the first byte
+// picks a base table, then each pair of bytes wraps the tree in one more
+// operator. Invalid steps are skipped, so every byte string maps to some
+// well-formed tree.
+func buildFuzzTree(md *logical.Metadata, prog []byte) *logical.Expr {
+	tables := md.Catalog().TableNames()
+	if len(prog) == 0 || len(tables) == 0 {
+		return nil
+	}
+	scan := func(b byte) *logical.Expr {
+		e, err := md.AddTable(tables[int(b)%len(tables)])
+		if err != nil {
+			return nil
+		}
+		return e
+	}
+	tree := scan(prog[0])
+	if tree == nil {
+		return nil
+	}
+	prog = prog[1:]
+	for len(prog) >= 2 {
+		op, arg := prog[0], prog[1]
+		prog = prog[2:]
+		cols := tree.OutputCols()
+		if len(cols) == 0 {
+			break
+		}
+		pick := cols[int(arg)%len(cols)]
+		switch op % 6 {
+		case 0: // filter on one output column
+			tree = &logical.Expr{
+				Op:       logical.OpSelect,
+				Filter:   &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: pick}, R: &scalar.Const{D: datum.NewInt(int64(arg))}},
+				Children: []*logical.Expr{tree},
+			}
+		case 1: // project a prefix of the output columns
+			n := 1 + int(arg)%len(cols)
+			projs := make([]logical.ProjItem, n)
+			for i := 0; i < n; i++ {
+				projs[i] = logical.ProjItem{Out: cols[i], E: &scalar.ColRef{ID: cols[i]}}
+			}
+			tree = &logical.Expr{Op: logical.OpProject, Projs: projs, Children: []*logical.Expr{tree}}
+		case 2: // group by one column with COUNT(*)
+			out := md.AddColumn(logical.ColumnMeta{Type: datum.TypeInt})
+			tree = &logical.Expr{
+				Op:        logical.OpGroupBy,
+				GroupCols: []scalar.ColumnID{pick},
+				Aggs:      []scalar.Agg{{Op: scalar.AggCountStar, Out: out}},
+				Children:  []*logical.Expr{tree},
+			}
+		case 3: // sort on one column
+			tree = &logical.Expr{
+				Op:       logical.OpSort,
+				Keys:     []logical.SortKey{{Col: pick, Desc: arg%2 == 1}},
+				Children: []*logical.Expr{tree},
+			}
+		case 4: // limit
+			tree = &logical.Expr{Op: logical.OpLimit, N: int64(arg), Children: []*logical.Expr{tree}}
+		case 5: // join against a fresh base table on column equality
+			other := scan(arg)
+			if other == nil {
+				continue
+			}
+			oc := other.OutputCols()
+			tree = &logical.Expr{
+				Op:       logical.OpJoin,
+				On:       &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: pick}, R: &scalar.ColRef{ID: oc[int(arg)%len(oc)]}},
+				Children: []*logical.Expr{tree, other},
+			}
+		}
+	}
+	return tree
+}

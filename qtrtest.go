@@ -33,6 +33,7 @@ import (
 	"qtrtest/internal/core/suite"
 	"qtrtest/internal/datum"
 	"qtrtest/internal/exec"
+	"qtrtest/internal/fuzz"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/memo"
 	"qtrtest/internal/mutate"
@@ -222,6 +223,42 @@ var (
 // score per suite algorithm.
 func (db *DB) MutationCampaign(cfg MutationConfig) (*MutationScore, error) {
 	return mutate.Run(db.Catalog, cfg)
+}
+
+// Fuzzing surface, re-exported from the fuzz package.
+type (
+	// FuzzConfig tunes a fuzz campaign (seed, query count, oracles' caps).
+	FuzzConfig = fuzz.Config
+	// FuzzReport is a campaign's deterministic outcome.
+	FuzzReport = fuzz.Report
+	// FuzzFinding is one reported fault with its shrunk reproducer.
+	FuzzFinding = fuzz.Finding
+)
+
+// Fuzzing helpers, re-exported from the fuzz package.
+var (
+	// RandomCatalog builds the seeded random test database the fuzzer uses
+	// when no catalog is supplied (qtrtest fuzz -randcat).
+	RandomCatalog = fuzz.RandomCatalog
+	// FuzzRun runs a campaign from a raw config (nil Catalog selects the
+	// random catalog); db.Fuzz is the database-bound form.
+	FuzzRun = fuzz.Run
+)
+
+// Fuzz runs a plan-guided metamorphic fuzz campaign against this database:
+// random query trees, the differential Plan(q) vs Plan(q,¬R) oracle plus a
+// metamorphic-rewrite oracle, coverage-steered generation, and shrunk
+// reproducers for every finding. The catalog and registry default to the
+// receiver's; cfg.Catalog/cfg.Registry override them (a nil cfg.Catalog with
+// cfg.DB == "" would otherwise select the random catalog).
+func (db *DB) Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
+	if cfg.Catalog == nil {
+		cfg.Catalog = db.Catalog
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = db.Registry
+	}
+	return fuzz.Run(cfg)
 }
 
 // RuleSetOf returns RuleSet(q): the rules exercised when optimizing the
