@@ -50,13 +50,30 @@ const benchQuery = `SELECT c_nationkey, COUNT(*) AS cnt
 
 // cmdBench measures the optimizer hot path and the end-to-end campaign
 // engine with testing.Benchmark and writes a qtrtest-bench/v1 JSON report.
+// With -exec it instead measures the execution engines (batch vs the row
+// baseline; see benchExecReport) and defaults the output to BENCH_exec.json.
 func cmdBench(db *qtrtest.DB, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_optimizer.json", "output file (- for stdout)")
+	out := fs.String("o", "", "output file (- for stdout; defaults per mode)")
 	commit := fs.String("commit", "", "optional commit label recorded in the report")
 	campaign := fs.Bool("campaign", true, "include the end-to-end campaign benchmark (slow)")
+	execMode := fs.Bool("exec", false, "benchmark the execution engines (row vs batch) instead of the optimizer")
+	rounds := fs.Int("rounds", 3, "interleaved measurement rounds per engine in -exec mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *execMode {
+		if *out == "" {
+			*out = "BENCH_exec.json"
+		}
+		report, err := benchExecReport(*commit, *rounds)
+		if err != nil {
+			return err
+		}
+		return writeBenchReport(report, *out)
+	}
+	if *out == "" {
+		*out = "BENCH_optimizer.json"
 	}
 
 	bound, err := bind.BindSQL(benchQuery, db.Catalog)
@@ -117,18 +134,24 @@ func cmdBench(db *qtrtest.DB, args []string) error {
 		})
 	}
 
+	return writeBenchReport(&report, *out)
+}
+
+// writeBenchReport marshals a qtrtest-bench/v1 report to the given path, or
+// stdout for "-".
+func writeBenchReport(report *benchReport, out string) error {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		_, err := os.Stdout.Write(data)
 		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report.Benchmarks))
 	return nil
 }

@@ -17,6 +17,7 @@
 //	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind]
 //	qtrtest fuzz [-n 500] [-timeout 30s] [-json] [-mutant kind] [-randcat] [-stop-on-finding]
 //	qtrtest bench [-o BENCH_optimizer.json] [-campaign=false]
+//	qtrtest bench -exec [-o BENCH_exec.json] [-rounds 3]
 //
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
 // -workers (worker pool size for the parallel campaign engine; suites,

@@ -49,6 +49,65 @@ type Table struct {
 
 	colOnce sync.Once
 	colIdx  map[string]int
+
+	vecOnce sync.Once
+	vecs    []datum.Vec
+	seqIdx  []int
+
+	joinIdx sync.Map // encoded key-column slots -> *joinIndexOnce
+}
+
+// JoinIndex is a hash index over one key-column set of a table: Lookup maps
+// an encoded key to a slot in Groups, and Groups[slot] lists the table row
+// positions holding that key, in row order. Rows with a NULL key column have
+// no entry (they can never hash-match). Callers must treat both fields as
+// read-only; the index is shared across concurrent executions.
+type JoinIndex struct {
+	Lookup map[string]int32
+	Groups [][]int32
+}
+
+type joinIndexOnce struct {
+	once sync.Once
+	idx  JoinIndex
+}
+
+// JoinIndex returns the table's hash index over the given key-column
+// ordinals, building it on first use. Tables are immutable during a run, so
+// the index — like ColumnData — is computed once per (table, key columns) and
+// shared by every hash join that builds against a bare scan of the table.
+func (t *Table) JoinIndex(slots []int) *JoinIndex {
+	kb := make([]byte, 0, 2*len(slots))
+	for _, s := range slots {
+		kb = append(kb, byte(s), byte(s>>8))
+	}
+	v, _ := t.joinIdx.LoadOrStore(string(kb), &joinIndexOnce{})
+	jo := v.(*joinIndexOnce)
+	jo.once.Do(func() {
+		vecs := t.ColumnData()
+		idx := JoinIndex{Lookup: make(map[string]int32)}
+		var keyBuf []byte
+	rows:
+		for ri := 0; ri < len(t.Rows); ri++ {
+			keyBuf = keyBuf[:0]
+			for _, s := range slots {
+				d := vecs[s].D[ri]
+				if d.IsNull() {
+					continue rows
+				}
+				keyBuf = d.AppendKey(keyBuf)
+			}
+			slot, ok := idx.Lookup[string(keyBuf)]
+			if !ok {
+				slot = int32(len(idx.Groups))
+				idx.Lookup[string(keyBuf)] = slot
+				idx.Groups = append(idx.Groups, nil)
+			}
+			idx.Groups[slot] = append(idx.Groups[slot], int32(ri))
+		}
+		jo.idx = idx
+	})
+	return &jo.idx
 }
 
 // ColumnIndex returns the ordinal of the named column, or -1. It is safe for
@@ -66,6 +125,30 @@ func (t *Table) ColumnIndex(name string) int {
 		return i
 	}
 	return -1
+}
+
+// ColumnData returns the table's rows transposed into per-column vectors for
+// batch execution. The transposition is computed exactly once, under a
+// sync.Once, so concurrent executions over a shared catalog never race; the
+// caller must treat the vectors as read-only. Rows must be final before the
+// first call — later mutations are not reflected.
+func (t *Table) ColumnData() []datum.Vec {
+	t.vecOnce.Do(func() {
+		t.vecs = datum.ColumnVecs(t.Rows, len(t.Columns))
+		idx := make([]int, len(t.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		t.seqIdx = idx
+	})
+	return t.vecs
+}
+
+// SeqIdx returns the shared read-only selection vector [0, 1, … len(Rows)-1]
+// batch scans slice windows out of.
+func (t *Table) SeqIdx() []int {
+	t.ColumnData()
+	return t.seqIdx
 }
 
 // IsKey reports whether the given column set contains the primary key (and

@@ -66,7 +66,12 @@ type BaseExec struct {
 // maxRows > 0 caps the buffered result and maxWork > 0 caps the total rows
 // produced by all operators (the error is exec.ErrRowLimit either way).
 func ExecBase(plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) (*BaseExec, error) {
-	rows, err := exec.RunMax(plan, cat, maxRows, maxWork)
+	return ExecBaseEngine(exec.EngineBatch, plan, cat, maxRows, maxWork)
+}
+
+// ExecBaseEngine is ExecBase on an explicit execution engine.
+func ExecBaseEngine(eng exec.Engine, plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) (*BaseExec, error) {
+	rows, err := exec.RunEngine(eng, plan, cat, maxRows, maxWork)
 	if err != nil {
 		return nil, err
 	}
@@ -92,10 +97,15 @@ type EdgeOutcome struct {
 // results with the order-aware oracle. maxRows > 0 caps the alternative's
 // buffered result; maxWork > 0 caps its total operator output.
 func CompareEdge(cat *catalog.Catalog, base *BaseExec, plan *physical.Expr, maxRows int, maxWork int64) (EdgeOutcome, error) {
+	return CompareEdgeEngine(exec.EngineBatch, cat, base, plan, maxRows, maxWork)
+}
+
+// CompareEdgeEngine is CompareEdge on an explicit execution engine.
+func CompareEdgeEngine(eng exec.Engine, cat *catalog.Catalog, base *BaseExec, plan *physical.Expr, maxRows int, maxWork int64) (EdgeOutcome, error) {
 	if plan.Hash() == base.Hash {
 		return EdgeOutcome{Skipped: true}, nil
 	}
-	rows, err := exec.RunMax(plan, cat, maxRows, maxWork)
+	rows, err := exec.RunEngine(eng, plan, cat, maxRows, maxWork)
 	if errors.Is(err, exec.ErrRowLimit) {
 		return EdgeOutcome{Capped: true}, nil
 	}
@@ -149,7 +159,7 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 			}
 			plan = res.Plan
 		}
-		base, err := ExecBase(plan, cat, 0, 0)
+		base, err := ExecBaseEngine(g.engine, plan, cat, 0, 0)
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d: %w", qi, err)
 		}
@@ -179,7 +189,7 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		if plan = g.EdgePlan(a.Query, t); plan == nil {
 			return fmt.Errorf("suite: no plan for query %d with %s disabled", a.Query, t)
 		}
-		out, err := CompareEdge(cat, base, plan, 0, 0)
+		out, err := CompareEdgeEngine(g.engine, cat, base, plan, 0, 0)
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d with %s disabled: %w", a.Query, t, err)
 		}

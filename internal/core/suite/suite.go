@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"qtrtest/internal/core/qgen"
+	"qtrtest/internal/exec"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/opt"
 	"qtrtest/internal/par"
@@ -109,6 +110,9 @@ type Graph struct {
 	// workers bounds the worker pool used by the parallel algorithm and
 	// execution paths; <= 0 means GOMAXPROCS.
 	workers int
+	// engine selects the execution engine Run uses; the zero value is the
+	// batch engine.
+	engine exec.Engine
 }
 
 // Workers returns the graph's worker-pool bound (<= 0 means GOMAXPROCS).
@@ -117,6 +121,11 @@ func (g *Graph) Workers() int { return g.workers }
 // SetWorkers overrides the worker-pool bound for subsequent algorithm runs
 // and suite executions.
 func (g *Graph) SetWorkers(n int) { g.workers = n }
+
+// SetEngine overrides the execution engine used by Run. Reports are
+// byte-identical across engines; the differential golden tests hold the suite
+// to that.
+func (g *Graph) SetEngine(e exec.Engine) { g.engine = e }
 
 // edgeKey identifies one edge (q, ¬R) of the bipartite graph. Targets are
 // singleton rules or rule pairs, so two rule IDs suffice (r2 is zero for

@@ -291,36 +291,54 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Key renders a row to a string usable as a hash-table key where rows that
-// compare equal produce equal keys.
-func (r Row) Key() string {
-	var sb strings.Builder
-	for _, d := range r {
-		fmt.Fprintf(&sb, "%d:%s|", keyKind(d.K), canonicalKeyPart(d))
-	}
-	return sb.String()
-}
-
-// keyKind folds numeric kinds together so that rows whose datums Compare
-// equal produce equal keys even if one plan yields INT and another FLOAT.
-func keyKind(k Kind) Kind {
-	switch k {
-	case KindInt, KindFloat, KindDate:
-		return KindInt
-	default:
-		return k
-	}
-}
-
-func canonicalKeyPart(d Datum) string {
+// AppendKey appends an injective, prefix-free encoding of the datum to buf
+// and returns the extended slice. Rows that Compare equal produce equal
+// encodings (numeric kinds are folded through their float64 image), and rows
+// that differ produce different encodings regardless of the bytes string
+// values contain: string parts are length-prefixed rather than escaped, so a
+// value embedding the separator bytes of neighboring parts cannot alias a
+// different row. Every non-string part is terminated by ';', which cannot
+// occur inside a decimal number, a %g float, "Inf" or "NaN".
+func (d Datum) AppendKey(buf []byte) []byte {
 	switch d.K {
+	case KindNull:
+		return append(buf, 'n', ';')
 	case KindInt, KindFloat, KindDate:
 		f, _ := d.numeric()
 		if f == float64(int64(f)) {
-			return strconv.FormatInt(int64(f), 10)
+			buf = append(buf, 'i')
+			buf = strconv.AppendInt(buf, int64(f), 10)
+		} else {
+			buf = append(buf, 'f')
+			buf = strconv.AppendFloat(buf, f, 'g', -1, 64)
 		}
-		return strconv.FormatFloat(f, 'g', -1, 64)
-	default:
-		return d.String()
+		return append(buf, ';')
+	case KindString:
+		buf = append(buf, 's')
+		buf = strconv.AppendInt(buf, int64(len(d.S)), 10)
+		buf = append(buf, ':')
+		return append(buf, d.S...)
+	case KindBool:
+		if d.B {
+			return append(buf, 'b', '1', ';')
+		}
+		return append(buf, 'b', '0', ';')
 	}
+	return append(buf, '?', ';')
+}
+
+// AppendKey appends the row's key encoding to buf; see Datum.AppendKey.
+// Callers on hot paths reuse the buffer across rows to avoid allocation.
+func (r Row) AppendKey(buf []byte) []byte {
+	for _, d := range r {
+		buf = d.AppendKey(buf)
+	}
+	return buf
+}
+
+// Key renders a row to a string usable as a hash-table key: rows that compare
+// equal produce equal keys and — because the encoding is injective — rows
+// that differ produce different keys.
+func (r Row) Key() string {
+	return string(r.AppendKey(make([]byte, 0, 16*len(r))))
 }

@@ -165,6 +165,97 @@ func TestRowKeyFoldsNumericKinds(t *testing.T) {
 	}
 }
 
+// Regression for the ISSUE-6 oracle-poisoning class: string values embedding
+// separator-looking bytes must not alias differently-shaped rows. The old
+// fmt-based encoding joined parts with "<kind>:<part>|", so a single string
+// crafted to contain that framing could collide with a multi-column row.
+func TestRowKeyStringFramingInjective(t *testing.T) {
+	collisions := [][2]Row{
+		{{NewString("a|5:b")}, {NewString("a"), NewString("b")}},
+		{{NewString("ab")}, {NewString("a"), NewString("b")}},
+		{{NewString("a;b")}, {NewString("a"), NewString("b")}},
+		{{NewString("s1:a")}, {NewString("a")}},
+		{{NewString(""), NewString("x")}, {NewString("x"), NewString("")}},
+		{{NewString("1")}, {NewInt(1)}},
+		{{NewString("3:'b'")}, {NewString("b")}},
+	}
+	for _, c := range collisions {
+		if c[0].Key() == c[1].Key() {
+			t.Errorf("rows %v and %v must not share key %q", c[0], c[1], c[0].Key())
+		}
+	}
+}
+
+// keyEquivalent reports whether two rows should share a key: same length and
+// every datum pair either Compare-equal or both NULL.
+func keyEquivalent(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsNull() || b[i].IsNull() {
+			if a[i].IsNull() != b[i].IsNull() {
+				return false
+			}
+			continue
+		}
+		if c, ok := Compare(a[i], b[i]); !ok || c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Brute-force injectivity check over a domain stuffed with bytes that stress
+// the encoding: separators, digits, encoded-prefix look-alikes, empty
+// strings, and numerics that fold across kinds.
+func TestRowKeyInjectiveBruteForce(t *testing.T) {
+	domain := []Datum{
+		Null,
+		NewInt(0), NewInt(1), NewInt(-1), NewInt(12),
+		NewFloat(1), NewFloat(1.5), NewFloat(-0.5), NewDate(12),
+		NewBool(true), NewBool(false),
+		NewString(""), NewString("a"), NewString("1"), NewString("|"),
+		NewString(":"), NewString(";"), NewString("a|1:b"), NewString("s1:a"),
+		NewString("i1;"), NewString("n;"), NewString("1:"),
+	}
+	r := rand.New(rand.NewSource(6))
+	var rows []Row
+	for len(rows) < 400 {
+		row := make(Row, 1+r.Intn(3))
+		for i := range row {
+			row[i] = domain[r.Intn(len(domain))]
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			sameKey := rows[i].Key() == rows[j].Key()
+			if sameKey != keyEquivalent(rows[i], rows[j]) {
+				t.Fatalf("rows %v and %v: key collision=%v, equivalent=%v (keys %q vs %q)",
+					rows[i], rows[j], sameKey, !sameKey, rows[i].Key(), rows[j].Key())
+			}
+		}
+	}
+}
+
+// AppendKey with a reused buffer must agree with Key.
+func TestAppendKeyReusesBuffer(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewString("a;b"), Null},
+		{NewFloat(2.5), NewBool(true)},
+		{},
+	}
+	buf := make([]byte, 0, 64)
+	for _, row := range rows {
+		buf = buf[:0]
+		buf = row.AppendKey(buf)
+		if string(buf) != row.Key() {
+			t.Errorf("AppendKey %q != Key %q for %v", buf, row.Key(), row)
+		}
+	}
+}
+
 func TestDatumString(t *testing.T) {
 	cases := map[string]Datum{
 		"NULL":   Null,

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"qtrtest/internal/datum"
 	"qtrtest/internal/scalar"
@@ -38,13 +37,13 @@ func newAggState() *aggState {
 	return &aggState{allInt: true, min: datum.Null, max: datum.Null}
 }
 
-func (s *aggState) add(d datum.Datum, op scalar.AggOp) {
+func (s *aggState) add(d datum.Datum, op scalar.AggOp) error {
 	if op == scalar.AggCountStar {
 		s.count++
-		return
+		return nil
 	}
 	if d.IsNull() {
-		return
+		return nil
 	}
 	s.count++
 	s.sawRow = true
@@ -56,6 +55,14 @@ func (s *aggState) add(d datum.Datum, op scalar.AggOp) {
 		s.allInt = false
 		s.sumF += d.F
 	default:
+		// SUM/AVG over a non-numeric input used to fall through here without
+		// accumulating anything, so result() silently returned 0.0 — a wrong
+		// answer the differential oracle would then trust. Surface it as an
+		// execution error instead. COUNT/MIN/MAX are defined for any kind
+		// (MIN/MAX order mixed kinds by datum.TotalCompare) and stay legal.
+		if op == scalar.AggSum || op == scalar.AggAvg {
+			return fmt.Errorf("exec: %s over non-numeric %s value", op, d.TypeOf())
+		}
 		s.allInt = false
 	}
 	if s.min.IsNull() || datum.TotalCompare(d, s.min) < 0 {
@@ -64,6 +71,7 @@ func (s *aggState) add(d datum.Datum, op scalar.AggOp) {
 	if s.max.IsNull() || datum.TotalCompare(d, s.max) > 0 {
 		s.max = d
 	}
+	return nil
 }
 
 func (s *aggState) result(op scalar.AggOp) datum.Datum {
@@ -111,6 +119,7 @@ func (a *aggIter) Open() error {
 	}
 	groups := make(map[string]*aggGroup)
 	var order []*aggGroup
+	var keyBuf []byte
 	for {
 		row, err := a.child.Next()
 		if err != nil {
@@ -119,20 +128,19 @@ func (a *aggIter) Open() error {
 		if row == nil {
 			break
 		}
-		var sb strings.Builder
+		keyBuf = keyBuf[:0]
 		rep := make(datum.Row, len(slots))
 		for i, s := range slots {
 			rep[i] = row[s]
-			sb.WriteString(datum.Row{row[s]}.Key())
+			keyBuf = rep[i].AppendKey(keyBuf)
 		}
-		key := sb.String()
-		g, ok := groups[key]
+		g, ok := groups[string(keyBuf)]
 		if !ok {
-			g = &aggGroup{key: key, rep: rep, states: make([]*aggState, len(a.aggs))}
+			g = &aggGroup{key: string(keyBuf), rep: rep, states: make([]*aggState, len(a.aggs))}
 			for i := range g.states {
 				g.states[i] = newAggState()
 			}
-			groups[key] = g
+			groups[g.key] = g
 			order = append(order, g)
 		}
 		for i, ag := range a.aggs {
@@ -144,7 +152,9 @@ func (a *aggIter) Open() error {
 					return err
 				}
 			}
-			g.states[i].add(d, ag.Op)
+			if err := g.states[i].add(d, ag.Op); err != nil {
+				return err
+			}
 		}
 	}
 	// Scalar aggregation over empty input yields one row (COUNT=0, others

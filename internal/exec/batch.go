@@ -1,0 +1,499 @@
+package exec
+
+import (
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// The batch engine converts the hot operators — scan, filter, project, hash
+// join, hash aggregation — to columnar processing: operators exchange Batches
+// of column vectors instead of single rows, amortizing interpretation
+// overhead and eliminating the per-row key-string and combined-row
+// allocations of the Volcano engine. Operators without a columnar
+// implementation (sort, limit, concat, merge join, nested-loops join) still
+// run row-at-a-time inside the same plan through adapter shims, and the row
+// engine remains available as EngineRow — the differential golden tests pin
+// the two engines to identical results, identical emission order and
+// identical budget verdicts.
+
+const (
+	// batchSize is the nominal number of rows per batch. Scans and adapters
+	// emit at most this many rows per batch; joins may emit up to candidateCap
+	// rows when a probe chunk is match-dense.
+	batchSize = 1024
+	// candidateCap bounds the candidate join pairs gathered per probe chunk,
+	// which bounds the memory a match-heavy (e.g. dropped-predicate) join can
+	// pin regardless of fan-out.
+	candidateCap = 4096
+)
+
+// denseIota is the shared read-only selection vector operators producing
+// dense output slice their Idx from. Its length covers the largest batch any
+// operator emits: a left join's candidate matches plus one fallout row per
+// probe row.
+var denseIota = func() []int {
+	s := make([]int, candidateCap+batchSize)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}()
+
+// Batch is a unit of columnar data flow: one vector per output column plus a
+// selection vector. Row k of the batch is (Cols[0].D[Idx[k]], Cols[1].D[Idx[k]], …);
+// filters shrink Idx without touching the vectors. A batch and its backing
+// arrays are only valid until the producer's next Next call.
+type Batch struct {
+	Cols []datum.Vec
+	Idx  []int
+}
+
+// Len returns the number of selected rows in the batch.
+func (b *Batch) Len() int { return len(b.Idx) }
+
+// BatchIterator is the columnar operator interface: Open, then Next until it
+// returns a nil batch, then Close.
+type BatchIterator interface {
+	Open() error
+	// Next returns the next non-empty batch, or (nil, nil) at end of stream.
+	Next() (*Batch, error)
+	Close() error
+}
+
+// Engine selects an execution strategy; the engines are result- and
+// verdict-identical by contract.
+type Engine int
+
+// Available engines.
+const (
+	// EngineBatch executes hot operators columnar with row-at-a-time shims
+	// for the rest. The default.
+	EngineBatch Engine = iota
+	// EngineRow is the original Volcano row-at-a-time engine, retained as
+	// the differential baseline.
+	EngineRow
+)
+
+// String returns the engine name as spelled in reports and benchmarks.
+func (e Engine) String() string {
+	if e == EngineRow {
+		return "row"
+	}
+	return "batch"
+}
+
+// RunEngine executes a plan under the chosen engine with RunMax's caps.
+//
+// One deliberate fallback keeps the triple budget contract engine-independent:
+// when a work budget is set and the plan contains a Limit, the batch engine
+// would overshoot the row engine's work total (a batch child materializes up
+// to batchSize rows where the row engine pulls exactly N), which could flip a
+// campaign's Capped verdicts. Those plans run on the row engine. Plans
+// without a Limit drain every operator completely under either engine, so
+// their work totals — and therefore their ErrRowLimit outcomes — are
+// identical.
+func RunEngine(eng Engine, plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) ([]datum.Row, error) {
+	if eng == EngineRow || (maxWork > 0 && hasLimit(plan)) {
+		return runRowEngine(plan, cat, maxRows, maxWork)
+	}
+	var budget *int64
+	if maxWork > 0 {
+		b := maxWork
+		budget = &b
+	}
+	it, err := buildBatchIter(plan, cat, budget)
+	if err != nil {
+		return nil, err
+	}
+	return runBatch(it, maxRows)
+}
+
+// runRowEngine is the retained Volcano path.
+func runRowEngine(plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) ([]datum.Row, error) {
+	var it Iterator
+	var err error
+	if maxWork > 0 {
+		budget := maxWork
+		it, err = buildBudget(plan, cat, &budget)
+	} else {
+		it, err = Build(plan, cat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return runIter(it, maxRows)
+}
+
+// runBatch opens, drains and closes a batch iterator, gathering result rows
+// with the same maxRows semantics as runIter.
+func runBatch(it BatchIterator, maxRows int) (out []datum.Row, err error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := it.Close(); cerr != nil && err == nil {
+			out, err = nil, cerr
+		}
+	}()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if maxRows > 0 && len(out)+b.Len() > maxRows {
+			return nil, ErrRowLimit
+		}
+		out = append(out, gatherRows(b)...)
+	}
+}
+
+// gatherRows materializes a batch into rows backed by one shared slab
+// allocation, written column-at-a-time: the per-row make() this replaces
+// dominated the profile of scan-heavy plans.
+func gatherRows(b *Batch) []datum.Row {
+	width := len(b.Cols)
+	n := b.Len()
+	slab := make([]datum.Datum, n*width)
+	for c := range b.Cols {
+		d := b.Cols[c].D
+		for k, ri := range b.Idx {
+			slab[k*width+c] = d[ri]
+		}
+	}
+	rows := make([]datum.Row, n)
+	for k := range rows {
+		rows[k] = slab[k*width : (k+1)*width : (k+1)*width]
+	}
+	return rows
+}
+
+// batchNative reports whether the operator has a columnar implementation.
+func batchNative(op physical.Op) bool {
+	switch op {
+	case physical.OpScan, physical.OpFilter, physical.OpProject,
+		physical.OpHashJoin, physical.OpHashAgg, physical.OpSortAgg:
+		return true
+	}
+	return false
+}
+
+// buildBatchIter compiles a plan into a batch iterator tree; subtrees rooted
+// at operators without a columnar implementation run row-at-a-time behind a
+// batchFromRows shim. A non-nil budget threads RunMax's work accounting
+// through every operator, charging exactly what buildBudget charges: one unit
+// per row each operator emits, adapters free.
+func buildBatchIter(plan *physical.Expr, cat *catalog.Catalog, budget *int64) (BatchIterator, error) {
+	if !batchNative(plan.Op) {
+		it, err := buildRowIter(plan, cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		return &batchFromRows{child: it, width: len(plan.OutputCols())}, nil
+	}
+	var bit BatchIterator
+	switch plan.Op {
+	case physical.OpScan:
+		t, err := cat.Table(plan.Table)
+		if err != nil {
+			return nil, err
+		}
+		bit = &batchScan{table: t}
+	case physical.OpFilter:
+		child, err := buildBatchIter(plan.Children[0], cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		bit = &batchFilter{
+			child: child, pred: plan.Filter,
+			ve: scalar.VecEval{Env: envOf(plan.Children[0].OutputCols())},
+		}
+	case physical.OpProject:
+		child, err := buildBatchIter(plan.Children[0], cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		bit = &batchProject{
+			child: child, items: plan.Projs,
+			ve: scalar.VecEval{Env: envOf(plan.Children[0].OutputCols())},
+		}
+	case physical.OpHashJoin:
+		left, err := buildBatchIter(plan.Children[0], cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildBatchIter(plan.Children[1], cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		bit = newBatchHashJoin(plan, left, right)
+	case physical.OpHashAgg, physical.OpSortAgg:
+		child, err := buildBatchIter(plan.Children[0], cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		bit = &batchAgg{
+			child: child, groupCols: plan.GroupCols, aggs: plan.Aggs,
+			ve:     scalar.VecEval{Env: envOf(plan.Children[0].OutputCols())},
+			sorted: plan.Op == physical.OpSortAgg,
+		}
+	}
+	if budget != nil {
+		bit = &batchBudget{child: bit, budget: budget}
+	}
+	return bit, nil
+}
+
+// buildRowIter compiles a plan into a row iterator tree, compiling
+// batch-native subtrees with buildBatchIter behind a rowFromBatch shim. Scans
+// stay on the zero-copy scanIter when a row operator consumes them directly.
+func buildRowIter(plan *physical.Expr, cat *catalog.Catalog, budget *int64) (Iterator, error) {
+	if plan.Op == physical.OpScan {
+		t, err := cat.Table(plan.Table)
+		if err != nil {
+			return nil, err
+		}
+		var it Iterator = &scanIter{table: t}
+		if budget != nil {
+			it = &budgetIter{Iterator: it, budget: budget}
+		}
+		return it, nil
+	}
+	if batchNative(plan.Op) {
+		b, err := buildBatchIter(plan, cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		return &rowFromBatch{child: b}, nil
+	}
+	kids := make([]Iterator, len(plan.Children))
+	for i, c := range plan.Children {
+		k, err := buildRowIter(c, cat, budget)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	it, err := buildOver(plan, kids, cat)
+	if err != nil {
+		return nil, err
+	}
+	if budget != nil {
+		it = &budgetIter{Iterator: it, budget: budget}
+	}
+	return it, nil
+}
+
+// batchBudget charges every row a batch operator emits against the shared
+// work budget, mirroring budgetIter.
+type batchBudget struct {
+	child  BatchIterator
+	budget *int64
+}
+
+func (b *batchBudget) Open() error { return b.child.Open() }
+
+func (b *batchBudget) Next() (*Batch, error) {
+	batch, err := b.child.Next()
+	if batch != nil {
+		*b.budget -= int64(len(batch.Idx))
+		if *b.budget < 0 {
+			return nil, ErrRowLimit
+		}
+	}
+	return batch, err
+}
+
+func (b *batchBudget) Close() error { return b.child.Close() }
+
+// ---- adapters ---------------------------------------------------------------
+
+// rowFromBatch adapts a batch subtree for a row-at-a-time consumer. Each
+// batch is materialized once into slab-backed rows because row operators
+// (sort, join build sides) retain rows past the batch's lifetime.
+type rowFromBatch struct {
+	child BatchIterator
+	rows  []datum.Row
+	pos   int
+}
+
+func (r *rowFromBatch) Open() error {
+	r.rows, r.pos = nil, 0
+	return r.child.Open()
+}
+
+func (r *rowFromBatch) Next() (datum.Row, error) {
+	for r.pos >= len(r.rows) {
+		b, err := r.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		r.rows, r.pos = gatherRows(b), 0
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, nil
+}
+
+func (r *rowFromBatch) Close() error { return r.child.Close() }
+
+// batchFromRows adapts a row subtree for a batch consumer, accumulating up to
+// batchSize rows per batch into reused vectors.
+type batchFromRows struct {
+	child Iterator
+	width int
+	vecs  []datum.Vec
+	out   Batch
+}
+
+func (b *batchFromRows) Open() error {
+	if b.vecs == nil {
+		b.vecs = make([]datum.Vec, b.width)
+	}
+	return b.child.Open()
+}
+
+func (b *batchFromRows) Next() (*Batch, error) {
+	for c := range b.vecs {
+		b.vecs[c].Reset()
+	}
+	n := 0
+	for n < batchSize {
+		row, err := b.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		for c := 0; c < b.width; c++ {
+			b.vecs[c].Append(row[c])
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b.out = Batch{Cols: b.vecs, Idx: denseIota[:n]}
+	return &b.out, nil
+}
+
+func (b *batchFromRows) Close() error { return b.child.Close() }
+
+// ---- scan -------------------------------------------------------------------
+
+// batchScan windows the catalog's cached column vectors: zero copies, zero
+// per-row work.
+type batchScan struct {
+	table *catalog.Table
+	cols  []datum.Vec
+	idx   []int
+	pos   int
+	out   Batch
+}
+
+func (s *batchScan) Open() error {
+	s.cols = s.table.ColumnData()
+	s.idx = s.table.SeqIdx()
+	s.pos = 0
+	return nil
+}
+
+func (s *batchScan) Next() (*Batch, error) {
+	if s.pos >= len(s.idx) {
+		return nil, nil
+	}
+	end := s.pos + batchSize
+	if end > len(s.idx) {
+		end = len(s.idx)
+	}
+	s.out = Batch{Cols: s.cols, Idx: s.idx[s.pos:end]}
+	s.pos = end
+	return &s.out, nil
+}
+
+func (s *batchScan) Close() error { return nil }
+
+// ---- filter -----------------------------------------------------------------
+
+// batchFilter shrinks the selection vector in place; the column vectors flow
+// through untouched.
+type batchFilter struct {
+	child BatchIterator
+	pred  scalar.Expr
+	ve    scalar.VecEval
+	sel   []int
+	out   Batch
+}
+
+func (f *batchFilter) Open() error { return f.child.Open() }
+
+func (f *batchFilter) Next() (*Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		sel, err := f.ve.EvalPred(f.pred, b.Cols, b.Idx, f.sel)
+		if err != nil {
+			return nil, err
+		}
+		f.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		f.out = Batch{Cols: b.Cols, Idx: sel}
+		return &f.out, nil
+	}
+}
+
+func (f *batchFilter) Close() error { return f.child.Close() }
+
+// ---- project ----------------------------------------------------------------
+
+// batchProject evaluates each projection once per batch into reused output
+// vectors.
+type batchProject struct {
+	child BatchIterator
+	items []logical.ProjItem
+	ve    scalar.VecEval
+	vecs  []datum.Vec
+	out   Batch
+}
+
+func (p *batchProject) Open() error {
+	if p.vecs == nil {
+		p.vecs = make([]datum.Vec, len(p.items))
+	}
+	return p.child.Open()
+}
+
+func (p *batchProject) Next() (*Batch, error) {
+	b, err := p.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, nil
+	}
+	for i, item := range p.items {
+		if err := p.ve.Eval(item.E, b.Cols, b.Idx, &p.vecs[i]); err != nil {
+			return nil, err
+		}
+	}
+	p.out = Batch{Cols: p.vecs, Idx: denseIota[:b.Len()]}
+	return &p.out, nil
+}
+
+func (p *batchProject) Close() error { return p.child.Close() }

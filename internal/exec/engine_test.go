@@ -1,0 +1,498 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// runEngines executes the plan on both engines and requires byte-identical
+// results in identical order: the batch engine's contract is not just
+// multiset equality but emission-order fidelity, which the fuzz report
+// byte-identity test and CompareResults both lean on.
+func runEngines(t *testing.T, plan *physical.Expr, cat *catalog.Catalog) []datum.Row {
+	t.Helper()
+	want, err := RunEngine(EngineRow, plan, cat, 0, 0)
+	if err != nil {
+		t.Fatalf("row engine: %v", err)
+	}
+	got, err := RunEngine(EngineBatch, plan, cat, 0, 0)
+	if err != nil {
+		t.Fatalf("batch engine: %v", err)
+	}
+	requireSameRows(t, want, got)
+	return got
+}
+
+func requireSameRows(t *testing.T, want, got []datum.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("batch engine returned %d rows, row engine %d\n%s",
+			len(got), len(want), DiffSummary(want, got))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d: width %d vs %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d col %d: batch %v (kind %v) vs row %v (kind %v)",
+					i, j, got[i][j], got[i][j].K, want[i][j], want[i][j].K)
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialHandPlans pins row/batch equivalence on a hand-built
+// plan per operator and join type, including the adapter shims (sort, limit,
+// concat, merge and nested-loops joins run row-at-a-time inside batch plans).
+func TestEngineDifferentialHandPlans(t *testing.T) {
+	filterGT15 := func(child *physical.Expr) *physical.Expr {
+		return &physical.Expr{
+			Op: physical.OpFilter, Children: []*physical.Expr{child},
+			Filter: &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: 2}, R: &scalar.Const{D: datum.NewInt(15)}},
+		}
+	}
+	project := func(child *physical.Expr) *physical.Expr {
+		return &physical.Expr{
+			Op: physical.OpProject, Children: []*physical.Expr{child},
+			Projs: []logical.ProjItem{
+				{Out: 9, E: &scalar.Arith{Op: scalar.ArithAdd, L: &scalar.ColRef{ID: 1}, R: &scalar.Const{D: datum.NewInt(100)}}},
+				{Out: 8, E: &scalar.ColRef{ID: 2}},
+			},
+		}
+	}
+	sortBy := func(child *physical.Expr, col scalar.ColumnID, desc bool) *physical.Expr {
+		return &physical.Expr{
+			Op: physical.OpSort, Children: []*physical.Expr{child},
+			Keys: []logical.SortKey{{Col: col, Desc: desc}},
+		}
+	}
+	agg := func(child *physical.Expr, groupBy []scalar.ColumnID, op physical.Op) *physical.Expr {
+		return &physical.Expr{
+			Op: op, Children: []*physical.Expr{child},
+			GroupCols: groupBy,
+			Aggs: []scalar.Agg{
+				{Op: scalar.AggCountStar, Out: 20},
+				{Op: scalar.AggSum, Arg: &scalar.ColRef{ID: 2}, Out: 21},
+				{Op: scalar.AggMin, Arg: &scalar.ColRef{ID: 2}, Out: 22},
+				{Op: scalar.AggMax, Arg: &scalar.ColRef{ID: 2}, Out: 23},
+				{Op: scalar.AggAvg, Arg: &scalar.ColRef{ID: 2}, Out: 24},
+			},
+		}
+	}
+
+	plans := map[string]*physical.Expr{
+		"scan":            scanT1(),
+		"filter":          filterGT15(scanT1()),
+		"project":         project(scanT1()),
+		"sort":            sortBy(scanT1(), 2, true),
+		"limit":           {Op: physical.OpLimit, N: 2, Children: []*physical.Expr{scanT1()}},
+		"hashagg":         agg(scanT1(), []scalar.ColumnID{1}, physical.OpHashAgg),
+		"sortagg":         agg(scanT1(), []scalar.ColumnID{1}, physical.OpSortAgg),
+		"scalaragg":       agg(scanT1(), nil, physical.OpHashAgg),
+		"scalaragg-empty": agg(filterGT15(filterGT15(scanT1())), nil, physical.OpHashAgg),
+		"concat": {
+			Op: physical.OpConcat, Children: []*physical.Expr{scanT1(), scanT2()},
+			OutCols:   []scalar.ColumnID{30},
+			InputCols: [][]scalar.ColumnID{{1}, {3}},
+		},
+		"agg-over-join": agg(joinPlan(physical.OpHashJoin, physical.JoinInner), []scalar.ColumnID{1}, physical.OpHashAgg),
+		"sort-over-join-over-filter": sortBy(&physical.Expr{
+			Op: physical.OpHashJoin, JoinType: physical.JoinLeft,
+			Children:  []*physical.Expr{filterGT15(scanT1()), scanT2()},
+			On:        eqOn(),
+			EquiLeft:  []scalar.ColumnID{1},
+			EquiRight: []scalar.ColumnID{3},
+		}, 4, false),
+		"project-over-agg": {
+			Op:       physical.OpProject,
+			Children: []*physical.Expr{agg(scanT1(), []scalar.ColumnID{1}, physical.OpHashAgg)},
+			Projs: []logical.ProjItem{
+				{Out: 40, E: &scalar.Arith{Op: scalar.ArithMul, L: &scalar.ColRef{ID: 21}, R: &scalar.Const{D: datum.NewInt(2)}}},
+			},
+		},
+	}
+	for _, op := range []physical.Op{physical.OpHashJoin, physical.OpNLJoin} {
+		for _, jt := range []physical.JoinType{physical.JoinInner, physical.JoinLeft, physical.JoinSemi, physical.JoinAnti} {
+			plans[fmt.Sprintf("%s-%s", op, jt)] = joinPlan(op, jt)
+		}
+	}
+	plans["mergejoin-inner"] = joinPlan(physical.OpMergeJoin, physical.JoinInner)
+	// Residual predicate on top of the equi-key: exercises partial selection
+	// inside a join chunk.
+	residual := joinPlan(physical.OpHashJoin, physical.JoinLeft)
+	residual.On = &scalar.And{Kids: []scalar.Expr{
+		eqOn(),
+		&scalar.Cmp{Op: scalar.CmpNE, L: &scalar.ColRef{ID: 4}, R: &scalar.Const{D: datum.NewString("uno")}},
+	}}
+	plans["hashjoin-residual"] = residual
+
+	cat := testCatalog()
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) { runEngines(t, plan, cat) })
+	}
+}
+
+// TestEngineChunkSpanningJoin drives the batch hash join past candidateCap so
+// probe rows span chunk boundaries: 200 probe rows × 300 matching build rows
+// is 60000 candidate pairs against a 4096-pair chunk, so most rows' match
+// lists are split mid-row and the carried rowMatched / resume-cursor state is
+// what keeps semi/anti/left fallout correct. The existing small-table tests
+// never leave the first chunk.
+func TestEngineChunkSpanningJoin(t *testing.T) {
+	c := catalog.New()
+	mk := func(name string, rows int, key func(i int) datum.Datum) *catalog.Table {
+		tbl := &catalog.Table{Name: name, Columns: []catalog.Column{
+			{Name: "k", Type: datum.TypeInt}, {Name: "v", Type: datum.TypeInt},
+		}}
+		for i := 0; i < rows; i++ {
+			tbl.Rows = append(tbl.Rows, datum.Row{key(i), datum.NewInt(int64(i))})
+		}
+		tbl.ComputeStats()
+		return tbl
+	}
+	// Left: mostly the hot key 7, with interleaved no-match keys and NULLs so
+	// anti/left fallout rows appear between match-heavy rows.
+	c.Add(mk("big_l", 200, func(i int) datum.Datum {
+		switch {
+		case i%17 == 0:
+			return datum.NewInt(5) // never matches
+		case i%23 == 0:
+			return datum.Null
+		default:
+			return datum.NewInt(7)
+		}
+	}))
+	c.Add(mk("big_r", 300, func(i int) datum.Datum {
+		if i%31 == 0 {
+			return datum.Null
+		}
+		return datum.NewInt(7)
+	}))
+	scanL := &physical.Expr{Op: physical.OpScan, Table: "big_l", Cols: []scalar.ColumnID{1, 2}}
+	scanR := &physical.Expr{Op: physical.OpScan, Table: "big_r", Cols: []scalar.ColumnID{3, 4}}
+	on := &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: 1}, R: &scalar.ColRef{ID: 3}}
+	// A residual that passes about half the candidates, so selection vectors
+	// inside chunks are partial rather than all-or-nothing.
+	residual := &scalar.And{Kids: []scalar.Expr{
+		on,
+		&scalar.Cmp{Op: scalar.CmpLT,
+			L: &scalar.Arith{Op: scalar.ArithAdd, L: &scalar.ColRef{ID: 2}, R: &scalar.ColRef{ID: 4}},
+			R: &scalar.Const{D: datum.NewInt(250)}},
+	}}
+	for _, jt := range []physical.JoinType{physical.JoinInner, physical.JoinLeft, physical.JoinSemi, physical.JoinAnti} {
+		for _, pred := range []struct {
+			name string
+			on   scalar.Expr
+		}{{"equi", on}, {"residual", residual}} {
+			t.Run(fmt.Sprintf("%s-%s", jt, pred.name), func(t *testing.T) {
+				plan := &physical.Expr{
+					Op: physical.OpHashJoin, JoinType: jt,
+					Children:  []*physical.Expr{scanL, scanR},
+					On:        pred.on,
+					EquiLeft:  []scalar.ColumnID{1},
+					EquiRight: []scalar.ColumnID{3},
+				}
+				rows := runEngines(t, plan, c)
+				if jt == physical.JoinInner && pred.name == "equi" && len(rows) <= candidateCap {
+					t.Fatalf("test is not chunk-spanning: %d rows", len(rows))
+				}
+			})
+		}
+	}
+}
+
+// planGen builds random plans over fresh random tables, assigning globally
+// unique column ids per scan. All columns are ints, so every generated
+// expression is type-correct and scalar errors cannot make the engines
+// diverge on error sites.
+type planGen struct {
+	r       *rand.Rand
+	cat     *catalog.Catalog
+	nextCol scalar.ColumnID
+	nextTbl int
+}
+
+func (g *planGen) scan() *physical.Expr {
+	name := fmt.Sprintf("g%d", g.nextTbl)
+	tbl := randomTable(name, 3, 8+g.r.Intn(30), g.r.Int63())
+	g.cat.Add(tbl)
+	g.nextTbl++
+	cols := make([]scalar.ColumnID, len(tbl.Columns))
+	for i := range cols {
+		cols[i] = g.nextCol
+		g.nextCol++
+	}
+	return &physical.Expr{Op: physical.OpScan, Table: name, Cols: cols}
+}
+
+func (g *planGen) operand(cols []scalar.ColumnID) scalar.Expr {
+	if g.r.Intn(3) == 0 {
+		return &scalar.Const{D: datum.NewInt(int64(g.r.Intn(8)))}
+	}
+	return &scalar.ColRef{ID: cols[g.r.Intn(len(cols))]}
+}
+
+func (g *planGen) pred(cols []scalar.ColumnID, depth int) scalar.Expr {
+	if depth > 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return &scalar.And{Kids: []scalar.Expr{g.pred(cols, depth-1), g.pred(cols, depth-1)}}
+		case 1:
+			return &scalar.Or{Kids: []scalar.Expr{g.pred(cols, depth-1), g.pred(cols, depth-1)}}
+		case 2:
+			return &scalar.Not{Kid: g.pred(cols, depth-1)}
+		}
+	}
+	if g.r.Intn(6) == 0 {
+		return &scalar.IsNull{Kid: g.operand(cols)}
+	}
+	ops := []scalar.CmpOp{scalar.CmpEQ, scalar.CmpNE, scalar.CmpLT, scalar.CmpLE, scalar.CmpGT, scalar.CmpGE}
+	return &scalar.Cmp{Op: ops[g.r.Intn(len(ops))], L: g.operand(cols), R: g.operand(cols)}
+}
+
+func (g *planGen) gen(depth int) *physical.Expr {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		return g.scan()
+	}
+	child := g.gen(depth - 1)
+	cols := child.OutputCols()
+	switch g.r.Intn(7) {
+	case 0:
+		return &physical.Expr{
+			Op: physical.OpFilter, Children: []*physical.Expr{child},
+			Filter: g.pred(cols, 2),
+		}
+	case 1:
+		n := 1 + g.r.Intn(3)
+		projs := make([]logical.ProjItem, n)
+		arith := []scalar.ArithOp{scalar.ArithAdd, scalar.ArithSub, scalar.ArithMul}
+		for i := range projs {
+			var e scalar.Expr
+			if g.r.Intn(2) == 0 {
+				e = g.operand(cols)
+			} else {
+				e = &scalar.Arith{Op: arith[g.r.Intn(len(arith))], L: g.operand(cols), R: g.operand(cols)}
+			}
+			projs[i] = logical.ProjItem{Out: g.nextCol, E: e}
+			g.nextCol++
+		}
+		return &physical.Expr{Op: physical.OpProject, Children: []*physical.Expr{child}, Projs: projs}
+	case 2:
+		right := g.gen(depth - 1)
+		rcols := right.OutputCols()
+		jts := []physical.JoinType{physical.JoinInner, physical.JoinLeft, physical.JoinSemi, physical.JoinAnti}
+		jt := jts[g.r.Intn(len(jts))]
+		ops := []physical.Op{physical.OpHashJoin, physical.OpNLJoin}
+		if jt == physical.JoinInner {
+			ops = append(ops, physical.OpMergeJoin)
+		}
+		lk := cols[g.r.Intn(len(cols))]
+		rk := rcols[g.r.Intn(len(rcols))]
+		var on scalar.Expr = &scalar.Cmp{Op: scalar.CmpEQ, L: &scalar.ColRef{ID: lk}, R: &scalar.ColRef{ID: rk}}
+		if g.r.Intn(3) == 0 {
+			on = &scalar.And{Kids: []scalar.Expr{on, g.pred(append(append([]scalar.ColumnID{}, cols...), rcols...), 1)}}
+		}
+		return &physical.Expr{
+			Op: ops[g.r.Intn(len(ops))], JoinType: jt,
+			Children:  []*physical.Expr{child, right},
+			On:        on,
+			EquiLeft:  []scalar.ColumnID{lk},
+			EquiRight: []scalar.ColumnID{rk},
+		}
+	case 3:
+		aggOps := []scalar.AggOp{scalar.AggCount, scalar.AggSum, scalar.AggMin, scalar.AggMax, scalar.AggAvg}
+		n := 1 + g.r.Intn(3)
+		aggs := make([]scalar.Agg, 0, n+1)
+		aggs = append(aggs, scalar.Agg{Op: scalar.AggCountStar, Out: g.nextCol})
+		g.nextCol++
+		for i := 0; i < n; i++ {
+			aggs = append(aggs, scalar.Agg{
+				Op: aggOps[g.r.Intn(len(aggOps))], Arg: g.operand(cols), Out: g.nextCol,
+			})
+			g.nextCol++
+		}
+		var groupBy []scalar.ColumnID
+		if g.r.Intn(4) != 0 {
+			groupBy = []scalar.ColumnID{cols[g.r.Intn(len(cols))]}
+		}
+		op := physical.OpHashAgg
+		if g.r.Intn(2) == 0 {
+			op = physical.OpSortAgg
+		}
+		return &physical.Expr{Op: op, Children: []*physical.Expr{child}, GroupCols: groupBy, Aggs: aggs}
+	case 4:
+		keys := []logical.SortKey{{Col: cols[g.r.Intn(len(cols))], Desc: g.r.Intn(2) == 0}}
+		return &physical.Expr{Op: physical.OpSort, Children: []*physical.Expr{child}, Keys: keys}
+	case 5:
+		return &physical.Expr{Op: physical.OpLimit, N: int64(1 + g.r.Intn(20)), Children: []*physical.Expr{child}}
+	default:
+		right := g.gen(depth - 1)
+		rcols := right.OutputCols()
+		w := len(cols)
+		if len(rcols) < w {
+			w = len(rcols)
+		}
+		out := make([]scalar.ColumnID, w)
+		for i := range out {
+			out[i] = g.nextCol
+			g.nextCol++
+		}
+		return &physical.Expr{
+			Op: physical.OpConcat, Children: []*physical.Expr{child, right},
+			OutCols:   out,
+			InputCols: [][]scalar.ColumnID{cols[:w], rcols[:w]},
+		}
+	}
+}
+
+// TestEngineDifferentialRandomPlans compares the engines over hundreds of
+// random operator trees, then re-runs each plan under a ladder of work and
+// row budgets and requires identical verdicts: same rows, or ErrRowLimit on
+// both sides. Plans containing a Limit take the documented row-engine
+// fallback when a work budget is set, which this test transparently covers.
+func TestEngineDifferentialRandomPlans(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := 0; seed < seeds; seed++ {
+		g := &planGen{r: rand.New(rand.NewSource(int64(seed))), cat: catalog.New(), nextCol: 1}
+		plan := g.gen(3)
+		want := runEngines(t, plan, g.cat)
+
+		for _, maxWork := range []int64{1, 7, 64, 1000, 50000} {
+			rowRows, rowErr := RunEngine(EngineRow, plan, g.cat, 0, maxWork)
+			batchRows, batchErr := RunEngine(EngineBatch, plan, g.cat, 0, maxWork)
+			if (rowErr != nil) != (batchErr != nil) {
+				t.Fatalf("seed %d maxWork %d: row err %v, batch err %v", seed, maxWork, rowErr, batchErr)
+			}
+			if rowErr != nil {
+				if !errors.Is(rowErr, ErrRowLimit) || !errors.Is(batchErr, ErrRowLimit) {
+					t.Fatalf("seed %d maxWork %d: unexpected errors %v / %v", seed, maxWork, rowErr, batchErr)
+				}
+				continue
+			}
+			requireSameRows(t, rowRows, batchRows)
+		}
+		if len(want) > 1 {
+			maxRows := len(want) / 2
+			_, rowErr := RunEngine(EngineRow, plan, g.cat, maxRows, 0)
+			_, batchErr := RunEngine(EngineBatch, plan, g.cat, maxRows, 0)
+			if !errors.Is(rowErr, ErrRowLimit) || !errors.Is(batchErr, ErrRowLimit) {
+				t.Fatalf("seed %d maxRows %d: want ErrRowLimit on both, got %v / %v",
+					seed, maxRows, rowErr, batchErr)
+			}
+		}
+	}
+}
+
+// TestSumAvgNonNumericErrors pins the aggregate-typing fix: SUM and AVG over
+// a non-numeric input must fail execution instead of silently returning 0.0,
+// identically on both engines.
+func TestSumAvgNonNumericErrors(t *testing.T) {
+	cat := testCatalog()
+	for _, op := range []scalar.AggOp{scalar.AggSum, scalar.AggAvg} {
+		plan := &physical.Expr{
+			Op: physical.OpHashAgg, Children: []*physical.Expr{scanT2()},
+			Aggs: []scalar.Agg{{Op: op, Arg: &scalar.ColRef{ID: 4}, Out: 10}},
+		}
+		for _, eng := range []Engine{EngineRow, EngineBatch} {
+			_, err := RunEngine(eng, plan, cat, 0, 0)
+			if err == nil {
+				t.Fatalf("%s engine: %s over strings succeeded, want error", eng, op)
+			}
+			if !strings.Contains(err.Error(), "non-numeric") {
+				t.Fatalf("%s engine: %s error = %q, want non-numeric typing error", eng, op, err)
+			}
+		}
+	}
+	// Grouped variant: the bad value sits in one group of several.
+	plan := &physical.Expr{
+		Op: physical.OpHashAgg, Children: []*physical.Expr{scanT2()},
+		GroupCols: []scalar.ColumnID{3},
+		Aggs:      []scalar.Agg{{Op: scalar.AggSum, Arg: &scalar.ColRef{ID: 4}, Out: 10}},
+	}
+	for _, eng := range []Engine{EngineRow, EngineBatch} {
+		if _, err := RunEngine(eng, plan, cat, 0, 0); err == nil {
+			t.Fatalf("%s engine: grouped SUM over strings succeeded, want error", eng)
+		}
+	}
+}
+
+// TestMinMaxMixedKinds pins MIN/MAX semantics over mixed-kind inputs: they
+// stay legal and order values by datum.TotalCompare, the same total order the
+// sort operator and the comparison oracle use.
+func TestMinMaxMixedKinds(t *testing.T) {
+	cat := testCatalog()
+	// UNION ALL of t1.a (ints + NULL) and t2.y (strings) produces one
+	// mixed-kind column.
+	concat := &physical.Expr{
+		Op: physical.OpConcat, Children: []*physical.Expr{scanT1(), scanT2()},
+		OutCols:   []scalar.ColumnID{50},
+		InputCols: [][]scalar.ColumnID{{1}, {4}},
+	}
+	plan := &physical.Expr{
+		Op: physical.OpHashAgg, Children: []*physical.Expr{concat},
+		Aggs: []scalar.Agg{
+			{Op: scalar.AggMin, Arg: &scalar.ColRef{ID: 50}, Out: 51},
+			{Op: scalar.AggMax, Arg: &scalar.ColRef{ID: 50}, Out: 52},
+		},
+	}
+	rows := runEngines(t, plan, cat)
+	if len(rows) != 1 {
+		t.Fatalf("scalar agg rows = %d", len(rows))
+	}
+	inputs, err := Run(concat, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin, wantMax := datum.Null, datum.Null
+	for _, r := range inputs {
+		d := r[0]
+		if d.IsNull() {
+			continue
+		}
+		if wantMin.IsNull() || datum.TotalCompare(d, wantMin) < 0 {
+			wantMin = d
+		}
+		if wantMax.IsNull() || datum.TotalCompare(d, wantMax) > 0 {
+			wantMax = d
+		}
+	}
+	if rows[0][0] != wantMin || rows[0][1] != wantMax {
+		t.Fatalf("MIN/MAX = %v/%v, want %v/%v by TotalCompare", rows[0][0], rows[0][1], wantMin, wantMax)
+	}
+}
+
+// TestMergeJoinNonInnerRejected pins that every build path rejects a
+// non-inner merge join through buildOver's single guard (Build used to carry
+// a duplicate of it).
+func TestMergeJoinNonInnerRejected(t *testing.T) {
+	cat := testCatalog()
+	plan := joinPlan(physical.OpMergeJoin, physical.JoinLeft)
+	if _, err := Build(plan, cat); err == nil {
+		t.Error("Build accepted a non-inner merge join")
+	}
+	budget := int64(1000)
+	if _, err := buildBudget(plan, cat, &budget); err == nil {
+		t.Error("buildBudget accepted a non-inner merge join")
+	}
+	for _, eng := range []Engine{EngineRow, EngineBatch} {
+		if _, err := RunEngine(eng, plan, cat, 0, 1000); err == nil || errors.Is(err, ErrRowLimit) {
+			t.Errorf("%s engine with budget: err = %v, want merge-join build error", eng, err)
+		}
+		if _, err := RunEngine(eng, plan, cat, 0, 0); err == nil {
+			t.Errorf("%s engine: accepted a non-inner merge join", eng)
+		}
+	}
+}

@@ -45,19 +45,13 @@ func Build(plan *physical.Expr, cat *catalog.Catalog) (Iterator, error) {
 		}
 		kids[i] = k
 	}
-	if plan.Op == physical.OpMergeJoin && plan.JoinType != physical.JoinInner {
-		return nil, fmt.Errorf("exec: merge join supports inner joins only, got %s", plan.JoinType)
-	}
 	return buildOver(plan, kids, cat)
 }
 
-// Run executes a plan to completion and returns all result rows.
+// Run executes a plan to completion on the default (batch) engine and
+// returns all result rows.
 func Run(plan *physical.Expr, cat *catalog.Catalog) ([]datum.Row, error) {
-	it, err := Build(plan, cat)
-	if err != nil {
-		return nil, err
-	}
-	return runIter(it, 0)
+	return RunEngine(EngineBatch, plan, cat, 0, 0)
 }
 
 // ErrRowLimit reports that a plan exceeded a row cap passed to RunMax: its
@@ -73,18 +67,7 @@ var ErrRowLimit = errors.New("exec: result row cap exceeded")
 // join predicate under an aggregation); the work budget can. Zero or
 // negative caps mean uncapped.
 func RunMax(plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) ([]datum.Row, error) {
-	var it Iterator
-	var err error
-	if maxWork > 0 {
-		budget := maxWork
-		it, err = buildBudget(plan, cat, &budget)
-	} else {
-		it, err = Build(plan, cat)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return runIter(it, maxRows)
+	return RunEngine(EngineBatch, plan, cat, maxRows, maxWork)
 }
 
 // budgetIter charges every row an operator emits against a budget shared by

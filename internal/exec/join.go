@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"qtrtest/internal/datum"
 	"qtrtest/internal/physical"
@@ -72,16 +71,17 @@ func nullRow(n int) datum.Row {
 }
 
 // keyOf builds a hash key from the given slots; ok is false when any key
-// datum is NULL (SQL equality never matches NULLs).
+// datum is NULL (SQL equality never matches NULLs). The bytes match what the
+// batch engine's key index produces: both are Datum.AppendKey sequences.
 func keyOf(row datum.Row, slots []int) (string, bool) {
-	var sb strings.Builder
+	var buf []byte
 	for _, s := range slots {
 		if row[s].IsNull() {
 			return "", false
 		}
-		sb.WriteString(datum.Row{row[s]}.Key())
+		buf = row[s].AppendKey(buf)
 	}
-	return sb.String(), true
+	return string(buf), true
 }
 
 // ---- hash join -------------------------------------------------------------

@@ -71,6 +71,17 @@ func randomType(rng *rand.Rand) datum.Type {
 	}
 }
 
+// stringDomain is the pool random string values draw from. Besides plain
+// letters it includes strings carrying the bytes the row-key encoding uses
+// for framing (`|`, `:`, `;`) and pairs like "a|b" / "a" + "b" that would
+// collide under a non-injective multi-part key, so key-encoding bugs in
+// joins, aggregation and result comparison are reachable by fuzzing.
+var stringDomain = []string{
+	"a", "b", "c", "d", "e", "f",
+	"a|b", "a|", "|b", "a:b", "a;b",
+	"s1:a", "3:abc", "", "a|5:b",
+}
+
 // randomValue draws from a small per-type domain: joins and equality
 // predicates over random columns need collisions to produce rows.
 func randomValue(rng *rand.Rand, t datum.Type) datum.Datum {
@@ -78,7 +89,7 @@ func randomValue(rng *rand.Rand, t datum.Type) datum.Datum {
 	case datum.TypeFloat:
 		return datum.NewFloat(float64(rng.Intn(40)) / 2)
 	case datum.TypeString:
-		return datum.NewString(string(rune('a' + rng.Intn(6))))
+		return datum.NewString(stringDomain[rng.Intn(len(stringDomain))])
 	case datum.TypeDate:
 		return datum.NewDate(int64(rng.Intn(60)))
 	default:

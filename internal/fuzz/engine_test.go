@@ -1,0 +1,85 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/exec"
+)
+
+// TestEngineReportByteIdentity is the batch engine's campaign-level contract:
+// a fuzz campaign run on the columnar engine must produce a byte-identical
+// JSON report to the same campaign on the retained row engine — same
+// verdicts, same skip counts, same shrunk reproducers. Anything less means
+// the engines disagree on some plan's results or on a budget verdict.
+// RandomCatalog always runs; TPC-H and star ride along unless -short.
+func TestEngineReportByteIdentity(t *testing.T) {
+	type db struct {
+		name string
+		cat  *catalog.Catalog
+	}
+	dbs := []db{{"rand", nil}}
+	if !testing.Short() {
+		dbs = append(dbs,
+			db{"tpch", catalog.LoadTPCH(catalog.TPCHConfig{ScaleRows: 0.2, Seed: 1})},
+			db{"star", catalog.LoadStar(catalog.DefaultStarConfig())},
+		)
+	}
+	for _, d := range dbs {
+		t.Run(d.name, func(t *testing.T) {
+			var reports [][]byte
+			for _, eng := range []exec.Engine{exec.EngineRow, exec.EngineBatch} {
+				cfg := Config{Seed: 21, N: 96, Workers: 8, Engine: eng}
+				if d.cat != nil {
+					cfg.Catalog = d.cat
+					cfg.DB = d.name
+				}
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("engine=%s: %v", eng, err)
+				}
+				data, err := rep.JSON()
+				if err != nil {
+					t.Fatalf("engine=%s: JSON: %v", eng, err)
+				}
+				reports = append(reports, data)
+			}
+			if !bytes.Equal(reports[0], reports[1]) {
+				t.Errorf("reports differ between engines:\n--- row ---\n%s\n--- batch ---\n%s",
+					reports[0], reports[1])
+			}
+		})
+	}
+}
+
+// TestStringDomainCarriesFramingBytes pins that the widened random-value
+// domain actually reaches generated tables: some catalog must contain a
+// string value with a framing byte, or the key-encoding regression coverage
+// this domain exists for is silently gone.
+func TestStringDomainCarriesFramingBytes(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 20 && !found; seed++ {
+		cat := RandomCatalog(seed)
+		for _, name := range cat.TableNames() {
+			tbl, err := cat.Table(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range tbl.Rows {
+				for _, dm := range row {
+					if !dm.IsNull() && len(dm.S) > 0 {
+						for _, b := range []byte(dm.S) {
+							if b == '|' || b == ':' || b == ';' {
+								found = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no random catalog produced a string containing a key-framing byte (| : ;)")
+	}
+}

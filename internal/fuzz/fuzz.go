@@ -87,6 +87,11 @@ type Config struct {
 	// and depends only on query indices, so the report stays
 	// workers-deterministic.
 	StopOnFinding bool
+	// Engine selects the execution engine for every plan execution in the
+	// campaign (the zero value is the batch engine). Campaign reports are
+	// byte-identical across engines; the knob exists so the differential
+	// golden tests can pin that.
+	Engine exec.Engine
 }
 
 func (c *Config) setDefaults() {
@@ -313,7 +318,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		}
 	}
 
-	base, err := suite.ExecBase(res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	base, err := suite.ExecBaseEngine(c.cfg.Engine, res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
 	if errors.Is(err, exec.ErrRowLimit) {
 		r.skip = "rowcap"
 		return r
@@ -336,7 +341,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		if err != nil || altRes.Plan.Cost > c.cfg.MaxCost {
 			continue
 		}
-		out, err := suite.CompareEdge(c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
+		out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
 		if err != nil {
 			f := mk(KindExecError)
 			f.pub.Rule = int(id)
@@ -382,7 +387,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		if altPlan.Cost > c.cfg.MaxCost {
 			continue
 		}
-		out, err := suite.CompareEdge(c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
+		out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
 		if err != nil {
 			f := mk(KindExecError)
 			f.pub.Rewrite = rw.Name

@@ -70,7 +70,7 @@ func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID)
 	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
 		return false
 	}
-	base, err := suite.ExecBase(res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	base, err := suite.ExecBaseEngine(c.cfg.Engine, res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
 	if err != nil {
 		return false
 	}
@@ -78,7 +78,7 @@ func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID)
 	if err != nil || altRes.Plan.Cost > c.cfg.MaxCost {
 		return false
 	}
-	out, err := suite.CompareEdge(c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
+	out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
 	return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
 }
 
@@ -93,7 +93,7 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string)
 	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
 		return false
 	}
-	base, err := suite.ExecBase(res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	base, err := suite.ExecBaseEngine(c.cfg.Engine, res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
 	if err != nil {
 		return false
 	}
@@ -109,7 +109,7 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string)
 		if err != nil || altPlan.Cost > c.cfg.MaxCost {
 			return false
 		}
-		out, err := suite.CompareEdge(c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
+		out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
 		return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
 	}
 	return false
@@ -134,6 +134,6 @@ func (c *campaign) execErrs(t *logical.Expr, md *logical.Metadata, id rules.ID) 
 		}
 		plan = altRes.Plan
 	}
-	_, err = exec.RunMax(plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	_, err = exec.RunEngine(c.cfg.Engine, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
 	return err != nil && !errors.Is(err, exec.ErrRowLimit)
 }

@@ -1,0 +1,251 @@
+package scalar
+
+import (
+	"fmt"
+
+	"qtrtest/internal/datum"
+)
+
+// VecEval evaluates expressions over column vectors, one batch of rows at a
+// time. It reuses scratch vectors across calls, so a VecEval must not be
+// shared between goroutines. Results are value-identical to the row-at-a-time
+// Eval/EvalBool: both bottom out in the same evalCmp/evalArith kernels.
+type VecEval struct {
+	// Env maps ColumnIDs to column positions, exactly like Eval's Env maps
+	// them to row slots.
+	Env Env
+
+	pool []*datum.Vec
+}
+
+func (v *VecEval) getVec() *datum.Vec {
+	if n := len(v.pool); n > 0 {
+		x := v.pool[n-1]
+		v.pool = v.pool[:n-1]
+		x.Reset()
+		return x
+	}
+	return &datum.Vec{}
+}
+
+func (v *VecEval) putVec(x *datum.Vec) { v.pool = append(v.pool, x) }
+
+// vecOp is a resolved operand: a column gathered through the selection
+// vector, a dense scratch result, or a constant.
+type vecOp struct {
+	col   *datum.Vec // gather: value for position k is col.D[idx[k]]
+	dense *datum.Vec // dense scratch result: value for position k is dense.D[k]
+	c     datum.Datum
+}
+
+func (o *vecOp) at(k, ri int) datum.Datum {
+	switch {
+	case o.col != nil:
+		return o.col.D[ri]
+	case o.dense != nil:
+		return o.dense.D[k]
+	default:
+		return o.c
+	}
+}
+
+// operand resolves e without materializing ColRefs and Consts; anything else
+// is evaluated into a pooled scratch vector the caller must release.
+func (v *VecEval) operand(e Expr, cols []datum.Vec, idx []int) (vecOp, error) {
+	switch t := e.(type) {
+	case *ColRef:
+		slot, ok := v.Env[t.ID]
+		if !ok {
+			return vecOp{}, fmt.Errorf("scalar: column c%d not in scope", t.ID)
+		}
+		return vecOp{col: &cols[slot]}, nil
+	case *Const:
+		return vecOp{c: t.D}, nil
+	default:
+		scratch := v.getVec()
+		if err := v.Eval(e, cols, idx, scratch); err != nil {
+			v.putVec(scratch)
+			return vecOp{}, err
+		}
+		return vecOp{dense: scratch}, nil
+	}
+}
+
+func (v *VecEval) release(o vecOp) {
+	if o.dense != nil {
+		v.putVec(o.dense)
+	}
+}
+
+// Eval evaluates e for every selected row, appending one result per entry of
+// idx to out (which is reset first). cols holds the input columns; idx[k] is
+// the row index of the k-th selected row within them.
+func (v *VecEval) Eval(e Expr, cols []datum.Vec, idx []int, out *datum.Vec) error {
+	out.Reset()
+	switch t := e.(type) {
+	case *ColRef:
+		slot, ok := v.Env[t.ID]
+		if !ok {
+			return fmt.Errorf("scalar: column c%d not in scope", t.ID)
+		}
+		src := cols[slot].D
+		for _, ri := range idx {
+			out.Append(src[ri])
+		}
+		return nil
+	case *Const:
+		for range idx {
+			out.Append(t.D)
+		}
+		return nil
+	case *Cmp:
+		l, err := v.operand(t.L, cols, idx)
+		if err != nil {
+			return err
+		}
+		r, err := v.operand(t.R, cols, idx)
+		if err != nil {
+			v.release(l)
+			return err
+		}
+		for k, ri := range idx {
+			out.Append(triToDatum(evalCmp(t.Op, l.at(k, ri), r.at(k, ri))))
+		}
+		v.release(l)
+		v.release(r)
+		return nil
+	case *Arith:
+		l, err := v.operand(t.L, cols, idx)
+		if err != nil {
+			return err
+		}
+		r, err := v.operand(t.R, cols, idx)
+		if err != nil {
+			v.release(l)
+			return err
+		}
+		for k, ri := range idx {
+			d, err := evalArith(t.Op, l.at(k, ri), r.at(k, ri))
+			if err != nil {
+				v.release(l)
+				v.release(r)
+				return err
+			}
+			out.Append(d)
+		}
+		v.release(l)
+		v.release(r)
+		return nil
+	case *And:
+		return v.evalVariadic(t.Kids, cols, idx, out, datum.True, datum.Tri.And)
+	case *Or:
+		return v.evalVariadic(t.Kids, cols, idx, out, datum.False, datum.Tri.Or)
+	case *Not:
+		if err := v.Eval(t.Kid, cols, idx, out); err != nil {
+			return err
+		}
+		for k := range out.D {
+			out.Put(k, triToDatum(datumToTri(out.D[k]).Not()))
+		}
+		return nil
+	case *IsNull:
+		o, err := v.operand(t.Kid, cols, idx)
+		if err != nil {
+			return err
+		}
+		for k, ri := range idx {
+			out.Append(datum.NewBool(o.at(k, ri).IsNull()))
+		}
+		v.release(o)
+		return nil
+	default:
+		return fmt.Errorf("scalar: cannot evaluate %T", e)
+	}
+}
+
+// evalVariadic folds AND/OR over the kids' dense results. Unlike the row
+// engine it cannot short-circuit per row, but the fold is over total
+// tri-state functions, so values are identical; only the site of a
+// data-dependent evaluation error could differ, and the engine's expression
+// generators never type such expressions.
+func (v *VecEval) evalVariadic(kids []Expr, cols []datum.Vec, idx []int, out *datum.Vec, unit datum.Tri, fold func(datum.Tri, datum.Tri) datum.Tri) error {
+	if len(kids) == 0 {
+		d := triToDatum(unit)
+		for range idx {
+			out.Append(d)
+		}
+		return nil
+	}
+	if err := v.Eval(kids[0], cols, idx, out); err != nil {
+		return err
+	}
+	if len(kids) == 1 {
+		return nil
+	}
+	tmp := v.getVec()
+	defer v.putVec(tmp)
+	for _, kid := range kids[1:] {
+		if err := v.Eval(kid, cols, idx, tmp); err != nil {
+			return err
+		}
+		for k := range out.D {
+			out.Put(k, triToDatum(fold(datumToTri(out.D[k]), datumToTri(tmp.D[k]))))
+		}
+	}
+	return nil
+}
+
+// EvalPred filters idx by the predicate under WHERE semantics (NULL is
+// false), appending the surviving row indexes to sel[:0] and returning it.
+// sel may alias idx's storage: the output is always a subsequence of the
+// input, written left to right, so in-place restriction is safe. Conjunction
+// restricts the selection kid by kid — the same early-out the row engine's
+// short-circuit AND performs.
+func (v *VecEval) EvalPred(e Expr, cols []datum.Vec, idx []int, sel []int) ([]int, error) {
+	switch t := e.(type) {
+	case *And:
+		if len(t.Kids) == 0 {
+			return append(sel[:0], idx...), nil
+		}
+		cur, err := v.EvalPred(t.Kids[0], cols, idx, sel)
+		for _, kid := range t.Kids[1:] {
+			if err != nil {
+				return nil, err
+			}
+			cur, err = v.EvalPred(kid, cols, cur, cur)
+		}
+		return cur, err
+	case *Cmp:
+		l, err := v.operand(t.L, cols, idx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := v.operand(t.R, cols, idx)
+		if err != nil {
+			v.release(l)
+			return nil, err
+		}
+		sel = sel[:0]
+		for k, ri := range idx {
+			if evalCmp(t.Op, l.at(k, ri), r.at(k, ri)) == datum.True {
+				sel = append(sel, ri)
+			}
+		}
+		v.release(l)
+		v.release(r)
+		return sel, nil
+	default:
+		out := v.getVec()
+		defer v.putVec(out)
+		if err := v.Eval(e, cols, idx, out); err != nil {
+			return nil, err
+		}
+		sel = sel[:0]
+		for k, ri := range idx {
+			if d := out.D[k]; d.K == datum.KindBool && d.B {
+				sel = append(sel, ri)
+			}
+		}
+		return sel, nil
+	}
+}
