@@ -19,12 +19,13 @@ func cmdFuzz(db *qtrtest.DB, args []string, schema string, seed int64, workers i
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	mutant := fs.String("mutant", "", "fuzz a mutant registry instead (fault-injection self-test)")
 	randcat := fs.Bool("randcat", false, "fuzz a seeded random catalog instead of the -db database")
+	eet := fs.Bool("eet", false, "enable the expression-level equivalence (EET) rewrites")
 	stop := fs.Bool("stop-on-finding", false, "stop at the first round boundary with a finding")
 	fs.Parse(args)
 
 	cfg := qtrtest.FuzzConfig{
 		Seed: seed, N: *n, Workers: workers, Timeout: *timeout,
-		DB: schema, StopOnFinding: *stop,
+		DB: schema, EET: *eet, StopOnFinding: *stop,
 	}
 	if *mutant != "" {
 		ms, err := qtrtest.MutantsByKind(qtrtest.MutantKind(*mutant))

@@ -14,8 +14,8 @@
 //	qtrtest suite -n 10 -k 5 [-pairs] [-algo topk|smc|baseline|matching] [-validate]
 //	qtrtest interactions -n 8 [-per 3]
 //	qtrtest mutate [-k 4] [-targets 0] [-extra 0] [-kinds a,b] [-diff]
-//	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind]
-//	qtrtest fuzz [-n 500] [-timeout 30s] [-json] [-mutant kind] [-randcat] [-stop-on-finding]
+//	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind] [-eet]
+//	qtrtest fuzz [-n 500] [-timeout 30s] [-json] [-mutant kind] [-randcat] [-eet] [-stop-on-finding]
 //	qtrtest bench [-o BENCH_optimizer.json] [-campaign=false]
 //	qtrtest bench -exec [-o BENCH_exec.json] [-rounds 3]
 //
@@ -375,9 +375,16 @@ func cmdCheck(db *qtrtest.DB, args []string) error {
 	matrix := fs.Bool("matrix", false, "also print the composability feeds relation")
 	xmlFile := fs.String("xml", "", "check a ruleset XML export instead of the active registry")
 	mutant := fs.String("mutant", "", "check the registry of the given mutant kind instead (fault-injection self-test)")
+	eet := fs.Bool("eet", false, "check the registry extended with the EET exploration-rule candidates")
 	fs.Parse(args)
-	if *xmlFile != "" && *mutant != "" {
-		return fmt.Errorf("check: -xml and -mutant are mutually exclusive")
+	exclusive := 0
+	for _, set := range []bool{*xmlFile != "", *mutant != "", *eet} {
+		if set {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("check: -xml, -mutant and -eet are mutually exclusive")
 	}
 
 	var rep *qtrtest.CheckReport
@@ -398,6 +405,8 @@ func cmdCheck(db *qtrtest.DB, args []string) error {
 			return err
 		}
 		rep = qtrtest.CheckRules(ms[0].Registry())
+	case *eet:
+		rep = qtrtest.CheckRules(qtrtest.RegistryWithEET())
 	default:
 		rep = qtrtest.CheckRules(db.Registry)
 	}

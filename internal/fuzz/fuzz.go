@@ -82,6 +82,9 @@ type Config struct {
 	// (default 300).
 	MaxShrunk       int
 	MaxShrinkChecks int
+	// EET enables the expression-level equivalence rewrites (the scalar EET
+	// catalog) alongside the tree-level metamorphic rewrites.
+	EET bool
 	// StopOnFinding stops the campaign at the first round boundary where at
 	// least one finding exists. Unlike Timeout, the cutoff is round-granular
 	// and depends only on query indices, so the report stays
@@ -141,6 +144,9 @@ func (c *Config) repro() string {
 		db = ""
 	}
 	line := fmt.Sprintf("qtrtest %s-seed %d fuzz -n %d", db, c.Seed, c.N)
+	if c.EET {
+		line += " -eet"
+	}
 	if c.DB == "rand" {
 		line += " -randcat"
 	}
@@ -148,6 +154,16 @@ func (c *Config) repro() string {
 		line += fmt.Sprintf(" -mutant %s", c.Mutant)
 	}
 	return line + "  # any -workers"
+}
+
+// rewritesFor returns the campaign's rewrite list: the tree-level catalog,
+// plus the EET expression-level catalog when cfg.EET is set.
+func rewritesFor(cfg Config) []Rewrite {
+	rws := Rewrites()
+	if cfg.EET {
+		rws = append(rws, eetRewrites()...)
+	}
+	return rws
 }
 
 // campaign bundles the per-run state shared by all workers (all read-only
@@ -187,7 +203,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &campaign{cfg: cfg, opt: o, gen: gen, rewrites: Rewrites()}
+	c := &campaign{cfg: cfg, opt: o, gen: gen, rewrites: rewritesFor(cfg)}
 
 	rep := &Report{
 		Schema: ReportSchema, DB: cfg.DB, Mutant: cfg.Mutant,
@@ -372,7 +388,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 	// Metamorphic oracle: each applicable rewrite is rendered, re-planned
 	// and compared against the base execution.
 	for _, rw := range c.rewrites {
-		alt := rw.Apply(bound.Tree, bound.MD)
+		alt := rw.Apply(bound.Tree, bound.MD, seed)
 		if alt == nil {
 			continue
 		}

@@ -90,6 +90,13 @@ func TestReproLine(t *testing.T) {
 	if got != want {
 		t.Errorf("randcat repro line:\n got %q\nwant %q", got, want)
 	}
+	ecfg := Config{Seed: 9, N: 50, DB: "tpch", Mutant: "wrong-agg", EET: true}
+	ecfg.setDefaults()
+	got = ecfg.repro()
+	want = "qtrtest -db tpch -seed 9 fuzz -n 50 -eet -mutant wrong-agg  # any -workers"
+	if got != want {
+		t.Errorf("eet repro line:\n got %q\nwant %q", got, want)
+	}
 }
 
 // TestRandomCatalogDeterministic: the same seed must build the same catalog.

@@ -14,8 +14,12 @@ import (
 type Rewrite struct {
 	Name string
 	// Apply returns the rewritten tree, or nil when the rewrite does not
-	// apply to this query. The input tree is never mutated.
-	Apply func(tree *logical.Expr, md *logical.Metadata) *logical.Expr
+	// apply to this query. The input tree is never mutated. seed is the
+	// query's derived seed: rewrites with a choice to make (the EET
+	// rewrites pick one expression site per query) make it deterministically
+	// from seed, so reports stay byte-identical at any worker count and the
+	// shrinker can replay the exact same choice.
+	Apply func(tree *logical.Expr, md *logical.Metadata, seed int64) *logical.Expr
 }
 
 // Rewrites returns the metamorphic rewrite catalog in fixed order.
@@ -33,7 +37,7 @@ func Rewrites() []Rewrite {
 // so the result multiset is unchanged — but predicate-ordering-sensitive
 // optimizer code (conjunct splitting, equi-key extraction) sees different
 // input.
-func reorderPredicates(tree *logical.Expr, _ *logical.Metadata) *logical.Expr {
+func reorderPredicates(tree *logical.Expr, _ *logical.Metadata, _ int64) *logical.Expr {
 	applied := false
 	out := tree.Clone()
 	out.Walk(func(e *logical.Expr) {
@@ -79,7 +83,7 @@ func reverseConjuncts(pred scalar.Expr) (scalar.Expr, bool) {
 // its children, so when the root's column list changes an identity Project
 // restores the original order — the rewritten query stays comparable
 // column-for-column with the original.
-func commuteJoins(tree *logical.Expr, _ *logical.Metadata) *logical.Expr {
+func commuteJoins(tree *logical.Expr, _ *logical.Metadata, _ int64) *logical.Expr {
 	applied := false
 	out := tree.Clone()
 	out.Walk(func(e *logical.Expr) {
@@ -120,7 +124,7 @@ func sameCols(a, b []scalar.ColumnID) bool {
 // including NULL (unlike c = c, which is NULL for NULL), so the filter keeps
 // every row — even above a LIMIT — while handing the optimizer an extra
 // Select to push around.
-func redundantFilter(tree *logical.Expr, _ *logical.Metadata) *logical.Expr {
+func redundantFilter(tree *logical.Expr, _ *logical.Metadata, _ int64) *logical.Expr {
 	cols := tree.OutputCols()
 	if len(cols) == 0 {
 		return nil

@@ -26,6 +26,10 @@ var metamorphicCases = map[string][]string{
 		"SELECT c2, MIN(c3) AS c9 FROM (SELECT * FROM (SELECT s_suppkey AS c1, s_nationkey AS c2, s_acctbal AS c3 FROM supplier) AS t1 WHERE ((c2 >= 0) AND (c3 > 0.0))) AS t3 GROUP BY c2",
 		// Sorted output: rewrites must preserve the root ordering contract.
 		"SELECT * FROM (SELECT p_partkey AS c1, p_size AS c2 FROM part) AS t1 WHERE ((c2 > 10) AND (c1 > 0)) ORDER BY c1",
+		// Nested integer arithmetic in a projection and a comparison inside
+		// the filter: the EET arithmetic rewrites (commute, associate) and
+		// comparison negation have sites here.
+		"SELECT ((c1 + c2) + c1) AS c9 FROM (SELECT s_suppkey AS c1, s_nationkey AS c2 FROM supplier) AS t1 WHERE ((c1 + c2) < 20)",
 	},
 	"star": {
 		"SELECT * FROM (SELECT f_salekey AS c1, f_storekey AS c2, f_quantity AS c3 FROM sales) AS t1 WHERE ((c3 > 1) AND (c2 > 2))",
@@ -35,19 +39,25 @@ var metamorphicCases = map[string][]string{
 }
 
 // TestRewritesPreserveResults: under the pristine registry, every applicable
-// metamorphic rewrite must be result-equivalent to the original query on
-// both shipped catalogs. A mismatch here means a rewrite is wrong — the
-// campaign would report optimizer bugs that are really fuzzer bugs.
+// metamorphic rewrite — tree-level and EET — must be result-equivalent to
+// the original query on both shipped catalogs. A mismatch here means a
+// rewrite is wrong — the campaign would report optimizer bugs that are
+// really fuzzer bugs. EET rewrites pick one site per seed, so they run at
+// several seeds to spread over different sites.
 func TestRewritesPreserveResults(t *testing.T) {
 	catalogs := map[string]*catalog.Catalog{
 		"tpch": catalog.LoadTPCH(catalog.DefaultTPCHConfig()),
 		"star": catalog.LoadStar(catalog.DefaultStarConfig()),
 	}
+	treeSeeds := []int64{0}
+	eetSeeds := []int64{0, 1, 2, 5}
+	applied := make(map[string]int) // global: some EET rewrites need the tpch arith case
+	allRewrites := rewritesFor(Config{EET: true})
 	for db, cases := range metamorphicCases {
 		cat := catalogs[db]
 		o := opt.New(rules.DefaultRegistry(), cat)
 		c := &campaign{cfg: Config{Catalog: cat}, opt: o}
-		applied := make(map[string]int)
+		dbApplied := make(map[string]int)
 		for _, sql := range cases {
 			bound, err := bind.BindSQL(sql, cat)
 			if err != nil {
@@ -61,36 +71,54 @@ func TestRewritesPreserveResults(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: execute %q: %v", db, sql, err)
 			}
-			for _, rw := range Rewrites() {
-				alt := rw.Apply(bound.Tree, bound.MD)
-				if alt == nil {
-					continue
+			for _, rw := range allRewrites {
+				seeds := treeSeeds
+				if isEETRewrite(rw.Name) {
+					seeds = eetSeeds
 				}
-				applied[rw.Name]++
-				altPlan, err := c.planTree(alt, bound.MD)
-				if err != nil {
-					t.Errorf("%s: rewrite %s of %q failed to plan: %v", db, rw.Name, sql, err)
-					continue
-				}
-				out, err := suite.CompareEdge(cat, base, altPlan, 0, 0)
-				if err != nil {
-					t.Errorf("%s: rewrite %s of %q failed to execute: %v", db, rw.Name, sql, err)
-					continue
-				}
-				if !out.Skipped && out.Verdict == exec.VerdictMismatch {
-					t.Errorf("%s: rewrite %s changed the results of %q: %s\nbase plan:\n%s\nalt plan:\n%s",
-						db, rw.Name, sql, out.Detail, res.Plan, altPlan)
+				for _, seed := range seeds {
+					alt := rw.Apply(bound.Tree, bound.MD, seed)
+					if alt == nil {
+						continue
+					}
+					applied[rw.Name]++
+					dbApplied[rw.Name]++
+					altPlan, err := c.planTree(alt, bound.MD)
+					if err != nil {
+						t.Errorf("%s: rewrite %s (seed %d) of %q failed to plan: %v", db, rw.Name, seed, sql, err)
+						continue
+					}
+					out, err := suite.CompareEdge(cat, base, altPlan, 0, 0)
+					if err != nil {
+						t.Errorf("%s: rewrite %s (seed %d) of %q failed to execute: %v", db, rw.Name, seed, sql, err)
+						continue
+					}
+					if !out.Skipped && out.Verdict == exec.VerdictMismatch {
+						t.Errorf("%s: rewrite %s (seed %d) changed the results of %q: %s\nbase plan:\n%s\nalt plan:\n%s",
+							db, rw.Name, seed, sql, out.Detail, res.Plan, altPlan)
+					}
 				}
 			}
 		}
-		// Equivalence that never ran proves nothing: every rewrite must have
-		// applied to at least one case per catalog.
+		// Equivalence that never ran proves nothing: every tree-level rewrite
+		// must have applied to at least one case per catalog.
 		for _, rw := range Rewrites() {
-			if applied[rw.Name] == 0 {
+			if dbApplied[rw.Name] == 0 {
 				t.Errorf("%s: rewrite %s applied to no test case", db, rw.Name)
 			}
 		}
 	}
+	// The EET catalog is asserted globally: the arithmetic rewrites need the
+	// tpch arithmetic case, but every catalog entry must have run somewhere.
+	for _, rw := range allRewrites {
+		if applied[rw.Name] == 0 {
+			t.Errorf("rewrite %s applied to no test case", rw.Name)
+		}
+	}
+}
+
+func isEETRewrite(name string) bool {
+	return len(name) > 4 && name[:4] == "eet-"
 }
 
 // TestRewritesReturnNilWhenInapplicable pins the applicability contract:
@@ -103,8 +131,8 @@ func TestRewritesReturnNilWhenInapplicable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rw := range Rewrites() {
-		alt := rw.Apply(bound.Tree, bound.MD)
+	for _, rw := range rewritesFor(Config{EET: true}) {
+		alt := rw.Apply(bound.Tree, bound.MD, 0)
 		switch rw.Name {
 		case "reorder-predicates", "commute-joins":
 			if alt != nil {
@@ -113,6 +141,21 @@ func TestRewritesReturnNilWhenInapplicable(t *testing.T) {
 		case "redundant-filter":
 			if alt == nil {
 				t.Errorf("rewrite %s should always apply to a query with output columns", rw.Name)
+			}
+		case "eet-commute-arith", "eet-assoc-arith":
+			// No arithmetic anywhere in the query: no candidate sites.
+			if alt != nil {
+				t.Errorf("rewrite %s should not apply to an arithmetic-free query", rw.Name)
+			}
+		case "eet-negate-comparison", "eet-null-tautology", "eet-double-negation", "eet-or-false-branch":
+			// The filter (c1 > 5) is a typed boolean site for all of these.
+			if alt == nil {
+				t.Errorf("rewrite %s should apply to a comparison filter", rw.Name)
+			}
+		case "eet-de-morgan":
+			// No multi-kid connective in the filter.
+			if alt != nil {
+				t.Errorf("rewrite %s should not apply to a single-comparison filter", rw.Name)
 			}
 		}
 	}

@@ -54,7 +54,9 @@ func TestCampaignCatchesAllMutants(t *testing.T) {
 }
 
 // shrunkStillTrips replays a finding's shrunk SQL through the same pipeline
-// and oracle that produced the original finding.
+// and oracle that produced the original finding. The rewrite lookup spans
+// the full catalog (tree-level plus EET) so EET-campaign findings replay
+// too; the finding's own Seed replays any seed-dependent site choice.
 func shrunkStillTrips(t *testing.T, cat *catalog.Catalog, m mutate.Mutant, f Finding) bool {
 	t.Helper()
 	o := opt.New(m.Registry(), cat)
@@ -85,11 +87,11 @@ func shrunkStillTrips(t *testing.T, cat *catalog.Catalog, m mutate.Mutant, f Fin
 		if err != nil {
 			return false
 		}
-		for _, rw := range Rewrites() {
+		for _, rw := range rewritesFor(Config{EET: true}) {
 			if rw.Name != f.Rewrite {
 				continue
 			}
-			alt := rw.Apply(bound.Tree, bound.MD)
+			alt := rw.Apply(bound.Tree, bound.MD, f.Seed)
 			if alt == nil {
 				return false
 			}

@@ -25,7 +25,7 @@ func (c *campaign) shrinkFinding(f *finding) {
 		}
 	case KindMetamorphic:
 		keep = func(t *logical.Expr) bool {
-			return c.metaTrips(t, f.md, f.pub.Rewrite)
+			return c.metaTrips(t, f.md, f.pub.Rewrite, f.pub.Seed)
 		}
 	case KindExecError:
 		keep = func(t *logical.Expr) bool {
@@ -83,8 +83,10 @@ func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID)
 }
 
 // metaTrips reports whether the named metamorphic rewrite still applies to
-// the query and still produces mismatching results.
-func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string) bool {
+// the query and still produces mismatching results. seed is the finding's
+// derived seed, so seed-dependent rewrites (EET site selection) replay the
+// same choice on each shrink candidate.
+func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string, seed int64) bool {
 	bound, err := c.rebind(t, md)
 	if err != nil {
 		return false
@@ -101,7 +103,7 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string)
 		if rw.Name != name {
 			continue
 		}
-		alt := rw.Apply(bound.Tree, bound.MD)
+		alt := rw.Apply(bound.Tree, bound.MD, seed)
 		if alt == nil {
 			return false
 		}

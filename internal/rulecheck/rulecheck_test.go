@@ -19,6 +19,7 @@ func TestPristineRegistryClean(t *testing.T) {
 	}{
 		{"default", rules.DefaultRegistry()},
 		{"with-extensions", rules.RegistryWithExtensions()},
+		{"with-eet", rules.RegistryWithEET()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			rep := CheckRegistry(tc.reg)

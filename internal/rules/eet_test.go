@@ -1,0 +1,129 @@
+package rules
+
+import (
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/scalar"
+)
+
+func TestRegistryWithEETShape(t *testing.T) {
+	reg := RegistryWithEET()
+	if got := len(reg.Exploration()); got != 37 {
+		t.Errorf("exploration rules = %d, want 37 (30 default + 7 EET)", got)
+	}
+	for i, name := range eetRuleNames {
+		r, err := reg.ByID(ID(eetRuleBaseID + i))
+		if err != nil {
+			t.Errorf("EET rule %d missing: %v", eetRuleBaseID+i, err)
+			continue
+		}
+		if r.Name() != name {
+			t.Errorf("rule %d = %q, want %q", eetRuleBaseID+i, r.Name(), name)
+		}
+	}
+	// One rule per catalog entry, same order.
+	if len(scalar.EETRewrites()) != len(eetRuleNames) {
+		t.Errorf("catalog has %d rewrites, rule pack names %d", len(scalar.EETRewrites()), len(eetRuleNames))
+	}
+	// The default registry must stay untouched (the paper's experiments
+	// index the first n exploration rules).
+	if got := len(DefaultRegistry().Exploration()); got != 30 {
+		t.Errorf("default exploration rules = %d, want 30", got)
+	}
+}
+
+// selectMemo builds Select(nation, filter) and returns the memo plus its
+// root expression and context.
+func selectMemo(t *testing.T, mkFilter func(md *logical.Metadata, tbl *logical.Expr) scalar.Expr) (*Context, *memo.Memo, *memo.MExpr) {
+	t.Helper()
+	md := logical.NewMetadata(catalog.LoadTPCH(catalog.DefaultTPCHConfig()))
+	nat, err := md.AddTable("nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := &logical.Expr{Op: logical.OpSelect, Children: []*logical.Expr{nat},
+		Filter: mkFilter(md, nat)}
+	m := memo.New(md)
+	root := m.Insert(sel)
+	m.SetRoot(root)
+	return &Context{Memo: m}, m, m.Group(root).Exprs[0]
+}
+
+// TestEETGrowthRulesRootOnly: the shape-growing rules fire exactly once on a
+// NOT-free filter and never on their own output (the termination invariant).
+func TestEETGrowthRulesRootOnly(t *testing.T) {
+	reg := RegistryWithEET()
+	for _, id := range []ID{41, 42, 44, 45} { // tautology, double-neg, negate-cmp, false-branch
+		r, _ := reg.ByID(id)
+		er := r.(ExplorationRule)
+		ctx, m, e := selectMemo(t, func(md *logical.Metadata, tbl *logical.Expr) scalar.Expr {
+			// n_nationkey > 1: NOT-free, well-typed, one referenced column.
+			return &scalar.Cmp{Op: scalar.CmpGT,
+				L: &scalar.ColRef{ID: tbl.Cols[0]}, R: &scalar.Const{D: datum.NewInt(1)}}
+		})
+		binds := Bind(m, e, er.Pattern())
+		if len(binds) != 1 {
+			t.Fatalf("rule %d: %d bindings, want 1", id, len(binds))
+		}
+		subs := er.Apply(ctx, binds[0])
+		if len(subs) != 1 {
+			t.Fatalf("rule %d: %d substitutes on a NOT-free filter, want 1", id, len(subs))
+		}
+		if !containsNot(subs[0].Node.Filter) {
+			t.Errorf("rule %d: output filter has no NOT marker; termination argument broken", id)
+		}
+		// Re-applying to its own output must yield nothing.
+		out2 := er.Apply(ctx, memo.NewBound(&logical.Expr{Op: logical.OpSelect, Filter: subs[0].Node.Filter}, binds[0].Kids[0]))
+		if len(out2) != 0 {
+			t.Errorf("rule %d: fired again on its own output", id)
+		}
+	}
+}
+
+// TestEETArithRulesPerSite: the arithmetic rules emit one substitute per
+// applicable site and preserve expression size.
+func TestEETArithRulesPerSite(t *testing.T) {
+	reg := RegistryWithEET()
+	r46, _ := reg.ByID(46) // commute
+	r47, _ := reg.ByID(47) // assoc
+	ctx, m, e := selectMemo(t, func(md *logical.Metadata, tbl *logical.Expr) scalar.Expr {
+		// ((k + r) + k) < 20 with k, r INT: commute applies at both Arith
+		// sites, assoc at the outer one.
+		k := &scalar.ColRef{ID: tbl.Cols[0]}
+		r := &scalar.ColRef{ID: tbl.Cols[2]}
+		inner := &scalar.Arith{Op: scalar.ArithAdd, L: k, R: r}
+		outer := &scalar.Arith{Op: scalar.ArithAdd, L: inner, R: k}
+		return &scalar.Cmp{Op: scalar.CmpLT, L: outer, R: &scalar.Const{D: datum.NewInt(20)}}
+	})
+	b := Bind(m, e, r46.Pattern())[0]
+	if subs := r46.(ExplorationRule).Apply(ctx, b); len(subs) != 2 {
+		t.Errorf("commute-arith: %d substitutes, want 2 (one per Arith site)", len(subs))
+	}
+	if subs := r47.(ExplorationRule).Apply(ctx, b); len(subs) != 1 {
+		t.Errorf("assoc-arith: %d substitutes, want 1 (outer chain only)", len(subs))
+	}
+}
+
+func TestContainsNot(t *testing.T) {
+	c := &scalar.ColRef{ID: 1}
+	plain := &scalar.And{Kids: []scalar.Expr{
+		&scalar.Cmp{Op: scalar.CmpEQ, L: c, R: &scalar.Const{D: datum.NewInt(1)}},
+		&scalar.IsNull{Kid: c},
+	}}
+	if containsNot(plain) {
+		t.Error("containsNot true on a NOT-free tree")
+	}
+	buried := &scalar.Or{Kids: []scalar.Expr{
+		plain,
+		&scalar.Cmp{Op: scalar.CmpEQ, L: c,
+			R: &scalar.Const{D: datum.NewInt(2)}},
+	}}
+	buried.Kids = append(buried.Kids, &scalar.Not{Kid: &scalar.IsNull{Kid: c}})
+	if !containsNot(buried) {
+		t.Error("containsNot missed a buried NOT")
+	}
+}

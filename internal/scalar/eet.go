@@ -1,0 +1,220 @@
+package scalar
+
+import (
+	"qtrtest/internal/datum"
+)
+
+// EETRewrite is one expression-level equivalence rewrite (EET: equivalent
+// expression transformation). Apply returns the rewritten expression, or
+// nil when the rewrite does not apply to e under env.
+//
+// Catalog contract — every rewrite is EXACTLY equivalent, not merely
+// equivalent under WHERE semantics:
+//
+//   - same datum in value position (including NULL),
+//   - same tri-state in predicate position,
+//   - same error behavior on every row (a rewrite never introduces or
+//     removes a typed or data-dependent execution error).
+//
+// TypeOf is the gate that makes this provable: rewrites only fire on
+// subexpressions that type-check, so three-valued identities (De Morgan in
+// Kleene logic, double negation, comparison negation) hold and no rewrite
+// output can hit datumToTri's or evalArith's error paths where the input
+// could not.
+type EETRewrite struct {
+	Name  string
+	Apply func(e Expr, env TypeEnv) Expr
+}
+
+// EETRewrites returns the catalog in a fixed, deterministic order. Index
+// positions are stable: tests and the exploration-rule pack rely on them.
+func EETRewrites() []EETRewrite {
+	return []EETRewrite{
+		{Name: "eet-null-tautology", Apply: eetNullTautology},
+		{Name: "eet-double-negation", Apply: eetDoubleNegation},
+		{Name: "eet-de-morgan", Apply: eetDeMorgan},
+		{Name: "eet-negate-comparison", Apply: eetNegateComparison},
+		{Name: "eet-or-false-branch", Apply: eetOrFalseBranch},
+		{Name: "eet-commute-arith", Apply: eetCommuteArith},
+		{Name: "eet-assoc-arith", Apply: eetAssocArith},
+	}
+}
+
+// predTyped reports whether e type-checks as exactly BOOL. The NULL
+// wildcard is deliberately excluded: wrapping a bare NULL literal in a
+// boolean shape would narrow its static type from wildcard to BOOL and
+// could un-type an enclosing comparison (NULL = 'x' types; (NOT NOT NULL)
+// = 'x' does not), so rewrites must preserve the site's static type.
+func predTyped(e Expr, env TypeEnv) bool {
+	t, err := TypeOf(e, env)
+	return err == nil && t == datum.TypeBool
+}
+
+// anchorCol picks the smallest column referenced by e — a deterministic
+// well-typed column to build IS NULL tautologies from.
+func anchorCol(e Expr) (ColumnID, bool) {
+	cols := ReferencedCols(e).Sorted()
+	if len(cols) == 0 {
+		return 0, false
+	}
+	return cols[0], true
+}
+
+// isNullTautology builds (c IS NULL OR NOT c IS NULL). IS NULL is total and
+// never NULL, so the disjunction is exactly TRUE for every row.
+func isNullTautology(c ColumnID) Expr {
+	return &Or{Kids: []Expr{
+		&IsNull{Kid: &ColRef{ID: c}},
+		&Not{Kid: &IsNull{Kid: &ColRef{ID: c}}},
+	}}
+}
+
+// isNullContradiction builds (c IS NULL AND NOT c IS NULL) — exactly FALSE
+// for every row, never NULL, never an error.
+func isNullContradiction(c ColumnID) Expr {
+	return &And{Kids: []Expr{
+		&IsNull{Kid: &ColRef{ID: c}},
+		&Not{Kid: &IsNull{Kid: &ColRef{ID: c}}},
+	}}
+}
+
+// eetNullTautology: p ⇒ p AND (c IS NULL OR NOT c IS NULL). AND with exact
+// TRUE is the identity in Kleene logic (TRUE∧x = x for x ∈ {T,F,U}).
+func eetNullTautology(e Expr, env TypeEnv) Expr {
+	if !predTyped(e, env) {
+		return nil
+	}
+	c, ok := anchorCol(e)
+	if !ok {
+		return nil
+	}
+	return &And{Kids: []Expr{e, isNullTautology(c)}}
+}
+
+// eetDoubleNegation: p ⇒ NOT (NOT p). Exact in Kleene logic (¬¬U = U), and
+// now that non-boolean predicates are typed errors on both engines, exact
+// in error behavior too.
+func eetDoubleNegation(e Expr, env TypeEnv) Expr {
+	if !predTyped(e, env) {
+		return nil
+	}
+	return &Not{Kid: &Not{Kid: e}}
+}
+
+// eetDeMorgan: AND(p...) ⇒ NOT(OR(NOT p...)), OR(p...) ⇒ NOT(AND(NOT p...)).
+// De Morgan holds exactly in three-valued logic. Applies to connectives
+// with at least two kids (the degenerate forms are left to other rewrites).
+func eetDeMorgan(e Expr, env TypeEnv) Expr {
+	if !predTyped(e, env) {
+		return nil
+	}
+	switch t := e.(type) {
+	case *And:
+		if len(t.Kids) < 2 {
+			return nil
+		}
+		return &Not{Kid: &Or{Kids: negateAll(t.Kids)}}
+	case *Or:
+		if len(t.Kids) < 2 {
+			return nil
+		}
+		return &Not{Kid: &And{Kids: negateAll(t.Kids)}}
+	}
+	return nil
+}
+
+func negateAll(kids []Expr) []Expr {
+	out := make([]Expr, len(kids))
+	for i, k := range kids {
+		out[i] = &Not{Kid: k}
+	}
+	return out
+}
+
+// eetNegateComparison: l < r ⇒ NOT (l >= r), and so on for every operator.
+// With NULL operands both sides are Unknown (¬U = U); with non-NULL
+// comparable operands the orders are complementary. TypeOf guarantees the
+// operands are comparable, so the incomparable-kinds Unknown case (where
+// complementarity would fail) cannot arise.
+func eetNegateComparison(e Expr, env TypeEnv) Expr {
+	t, ok := e.(*Cmp)
+	if !ok || !predTyped(e, env) {
+		return nil
+	}
+	return &Not{Kid: &Cmp{Op: negateCmpOp(t.Op), L: t.L, R: t.R}}
+}
+
+func negateCmpOp(op CmpOp) CmpOp {
+	switch op {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpLT:
+		return CmpGE
+	case CmpLE:
+		return CmpGT
+	case CmpGT:
+		return CmpLE
+	case CmpGE:
+		return CmpLT
+	}
+	return op
+}
+
+// eetOrFalseBranch: p ⇒ p OR (q AND NOT q) with q = c IS NULL, which is
+// always non-NULL boolean, so the branch is exactly FALSE (an arbitrary
+// nullable q would make it Unknown and break the identity). OR with exact
+// FALSE is the identity in Kleene logic.
+func eetOrFalseBranch(e Expr, env TypeEnv) Expr {
+	if !predTyped(e, env) {
+		return nil
+	}
+	c, ok := anchorCol(e)
+	if !ok {
+		return nil
+	}
+	return &Or{Kids: []Expr{e, isNullContradiction(c)}}
+}
+
+// eetCommuteArith: l + r ⇒ r + l, l * r ⇒ r * l. Exact for every kind the
+// arithmetic kernel accepts: int64 wraparound and IEEE float addition and
+// multiplication both commute, NULL absorbs symmetrically, and an erroring
+// operand errors on either side. Declines structurally equal operands (the
+// rewrite would be the identity).
+func eetCommuteArith(e Expr, env TypeEnv) Expr {
+	t, ok := e.(*Arith)
+	if !ok || t.Op == ArithSub {
+		return nil
+	}
+	if _, err := TypeOf(e, env); err != nil {
+		return nil
+	}
+	if Equal(t.L, t.R) {
+		return nil
+	}
+	return &Arith{Op: t.Op, L: t.R, R: t.L}
+}
+
+// eetAssocArith: (a ∘ b) ∘ c ⇒ a ∘ (b ∘ c) for ∘ ∈ {+, *}. Restricted to
+// operands that statically type INT (or the NULL wildcard): int64
+// wraparound arithmetic is associative in Z/2^64 and NULL absorbs either
+// way, whereas float rounding — and the int→float promotion DATE operands
+// take — breaks associativity.
+func eetAssocArith(e Expr, env TypeEnv) Expr {
+	t, ok := e.(*Arith)
+	if !ok || t.Op == ArithSub {
+		return nil
+	}
+	l, ok := t.L.(*Arith)
+	if !ok || l.Op != t.Op {
+		return nil
+	}
+	for _, operand := range []Expr{l.L, l.R, t.R} {
+		ty, err := TypeOf(operand, env)
+		if err != nil || (ty != datum.TypeInt && ty != datum.TypeUnknown) {
+			return nil
+		}
+	}
+	return &Arith{Op: t.Op, L: l.L, R: &Arith{Op: t.Op, L: l.R, R: t.R}}
+}

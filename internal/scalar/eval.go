@@ -42,16 +42,21 @@ func Eval(e Expr, row datum.Row, env Env) (datum.Datum, error) {
 		}
 		return evalArith(t.Op, l, r)
 	case *And:
+		// Errors dominate: every kid is evaluated before folding, so a
+		// conjunct that errors surfaces the error even when an earlier
+		// conjunct is already FALSE. This keeps Error-vs-OK stable under
+		// conjunct reordering and matches the vector engine.
 		res := datum.True
 		for _, k := range t.Kids {
 			d, err := Eval(k, row, env)
 			if err != nil {
 				return datum.Null, err
 			}
-			res = res.And(datumToTri(d))
-			if res == datum.False {
-				break
+			tri, err := datumToTri(d)
+			if err != nil {
+				return datum.Null, err
 			}
+			res = res.And(tri)
 		}
 		return triToDatum(res), nil
 	case *Or:
@@ -61,10 +66,11 @@ func Eval(e Expr, row datum.Row, env Env) (datum.Datum, error) {
 			if err != nil {
 				return datum.Null, err
 			}
-			res = res.Or(datumToTri(d))
-			if res == datum.True {
-				break
+			tri, err := datumToTri(d)
+			if err != nil {
+				return datum.Null, err
 			}
+			res = res.Or(tri)
 		}
 		return triToDatum(res), nil
 	case *Not:
@@ -72,7 +78,11 @@ func Eval(e Expr, row datum.Row, env Env) (datum.Datum, error) {
 		if err != nil {
 			return datum.Null, err
 		}
-		return triToDatum(datumToTri(d).Not()), nil
+		tri, err := datumToTri(d)
+		if err != nil {
+			return datum.Null, err
+		}
+		return triToDatum(tri.Not()), nil
 	case *IsNull:
 		d, err := Eval(t.Kid, row, env)
 		if err != nil {
@@ -85,24 +95,31 @@ func Eval(e Expr, row datum.Row, env Env) (datum.Datum, error) {
 }
 
 // EvalBool evaluates a predicate; NULL counts as false (WHERE semantics).
+// A non-NULL, non-boolean result is a typed execution error, matching the
+// vector engine's EvalPred.
 func EvalBool(e Expr, row datum.Row, env Env) (bool, error) {
 	d, err := Eval(e, row, env)
 	if err != nil {
 		return false, err
 	}
-	return !d.IsNull() && d.K == datum.KindBool && d.B, nil
+	tri, err := datumToTri(d)
+	if err != nil {
+		return false, err
+	}
+	return tri == datum.True, nil
 }
 
-func datumToTri(d datum.Datum) datum.Tri {
+// datumToTri interprets a datum in predicate position. NULL is Unknown; a
+// non-NULL, non-boolean datum is a typed execution error — both engines
+// share this rule, so NOT (NOT e) and e always filter (or fail) alike.
+func datumToTri(d datum.Datum) (datum.Tri, error) {
 	if d.IsNull() {
-		return datum.Unknown
+		return datum.Unknown, nil
 	}
 	if d.K == datum.KindBool {
-		return datum.TriFromBool(d.B)
+		return datum.TriFromBool(d.B), nil
 	}
-	// Non-boolean treated as true if non-zero; predicates produced by this
-	// engine are always boolean, so this is a defensive default.
-	return datum.True
+	return datum.Unknown, fmt.Errorf("scalar: %v is not a boolean predicate", d)
 }
 
 func triToDatum(t datum.Tri) datum.Datum {
@@ -116,6 +133,15 @@ func triToDatum(t datum.Tri) datum.Datum {
 	}
 }
 
+// evalCmp compares two datums under three-valued logic. NULL operands yield
+// Unknown, and — deliberately — so does a comparison between incomparable
+// kinds (e.g. INT vs STRING): cross-kind comparisons are *documented
+// Unknown*, not an error, on both engines. An error here would make
+// Error-vs-OK depend on which plan path (hash-join probe vs residual
+// predicate) evaluates the comparison; Unknown is order- and path-stable.
+// TypeOf rejects cross-kind comparisons statically, so EET rewrites are only
+// emitted where comparisons are well-kinded and identities like
+// x = y OR x <> y OR x IS NULL OR y IS NULL actually hold.
 func evalCmp(op CmpOp, l, r datum.Datum) datum.Tri {
 	if l.IsNull() || r.IsNull() {
 		return datum.Unknown

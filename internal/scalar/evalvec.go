@@ -145,7 +145,11 @@ func (v *VecEval) Eval(e Expr, cols []datum.Vec, idx []int, out *datum.Vec) erro
 			return err
 		}
 		for k := range out.D {
-			out.Put(k, triToDatum(datumToTri(out.D[k]).Not()))
+			tri, err := datumToTri(out.D[k])
+			if err != nil {
+				return err
+			}
+			out.Put(k, triToDatum(tri.Not()))
 		}
 		return nil
 	case *IsNull:
@@ -163,11 +167,12 @@ func (v *VecEval) Eval(e Expr, cols []datum.Vec, idx []int, out *datum.Vec) erro
 	}
 }
 
-// evalVariadic folds AND/OR over the kids' dense results. Unlike the row
-// engine it cannot short-circuit per row, but the fold is over total
-// tri-state functions, so values are identical; only the site of a
-// data-dependent evaluation error could differ, and the engine's expression
-// generators never type such expressions.
+// evalVariadic folds AND/OR over the kids' dense results. Every kid is
+// evaluated before folding — the same errors-dominate rule as the row
+// engine's Eval — so Error-vs-OK never depends on conjunct order or engine.
+// When both engines error, the error *message* may differ (this engine
+// evaluates conjunct-major, the row engine row-major, so a different
+// offending value can be seen first); error presence is the contract.
 func (v *VecEval) evalVariadic(kids []Expr, cols []datum.Vec, idx []int, out *datum.Vec, unit datum.Tri, fold func(datum.Tri, datum.Tri) datum.Tri) error {
 	if len(kids) == 0 {
 		d := triToDatum(unit)
@@ -179,6 +184,15 @@ func (v *VecEval) evalVariadic(kids []Expr, cols []datum.Vec, idx []int, out *da
 	if err := v.Eval(kids[0], cols, idx, out); err != nil {
 		return err
 	}
+	// Normalize the first kid through datumToTri so a single-kid AND/OR
+	// rejects non-boolean operands exactly like the row engine's fold.
+	for k := range out.D {
+		tri, err := datumToTri(out.D[k])
+		if err != nil {
+			return err
+		}
+		out.Put(k, triToDatum(tri))
+	}
 	if len(kids) == 1 {
 		return nil
 	}
@@ -189,7 +203,15 @@ func (v *VecEval) evalVariadic(kids []Expr, cols []datum.Vec, idx []int, out *da
 			return err
 		}
 		for k := range out.D {
-			out.Put(k, triToDatum(fold(datumToTri(out.D[k]), datumToTri(tmp.D[k]))))
+			a, err := datumToTri(out.D[k])
+			if err != nil {
+				return err
+			}
+			b, err := datumToTri(tmp.D[k])
+			if err != nil {
+				return err
+			}
+			out.Put(k, triToDatum(fold(a, b)))
 		}
 	}
 	return nil
@@ -198,14 +220,29 @@ func (v *VecEval) evalVariadic(kids []Expr, cols []datum.Vec, idx []int, out *da
 // EvalPred filters idx by the predicate under WHERE semantics (NULL is
 // false), appending the surviving row indexes to sel[:0] and returning it.
 // sel may alias idx's storage: the output is always a subsequence of the
-// input, written left to right, so in-place restriction is safe. Conjunction
-// restricts the selection kid by kid — the same early-out the row engine's
-// short-circuit AND performs.
+// input, written left to right, so in-place restriction is safe.
+//
+// Conjunction restricts the selection kid by kid — the same early-out the
+// row engine's filter loop gets from rows failing an early conjunct — but
+// ONLY when every conjunct is statically error-free (errFree): a conjunct
+// that can error must see every input row, or errors-dominate would depend
+// on which conjunct ran first. Mixed conjunctions fall back to evaluating
+// each conjunct over the full input and intersecting the selections.
 func (v *VecEval) EvalPred(e Expr, cols []datum.Vec, idx []int, sel []int) ([]int, error) {
 	switch t := e.(type) {
 	case *And:
 		if len(t.Kids) == 0 {
 			return append(sel[:0], idx...), nil
+		}
+		allSafe := true
+		for _, kid := range t.Kids {
+			if !errFreePred(kid, v.Env) {
+				allSafe = false
+				break
+			}
+		}
+		if !allSafe {
+			return v.evalPredAndSlow(t.Kids, cols, idx, sel)
 		}
 		cur, err := v.EvalPred(t.Kids[0], cols, idx, sel)
 		for _, kid := range t.Kids[1:] {
@@ -242,10 +279,55 @@ func (v *VecEval) EvalPred(e Expr, cols []datum.Vec, idx []int, sel []int) ([]in
 		}
 		sel = sel[:0]
 		for k, ri := range idx {
-			if d := out.D[k]; d.K == datum.KindBool && d.B {
+			tri, err := datumToTri(out.D[k])
+			if err != nil {
+				return nil, err
+			}
+			if tri == datum.True {
 				sel = append(sel, ri)
 			}
 		}
 		return sel, nil
 	}
+}
+
+// evalPredAndSlow handles a conjunction with at least one conjunct that can
+// error: every conjunct is evaluated over the FULL input selection (so any
+// error surfaces regardless of what the other conjuncts exclude), and the
+// surviving selections are intersected. All selections are ordered
+// subsequences of idx, so intersection is a two-pointer merge.
+func (v *VecEval) evalPredAndSlow(kids []Expr, cols []datum.Vec, idx []int, sel []int) ([]int, error) {
+	cur := append([]int(nil), idx...)
+	var scratch []int
+	for _, kid := range kids {
+		kidSel, err := v.EvalPred(kid, cols, idx, scratch[:0])
+		if err != nil {
+			return nil, err
+		}
+		cur = intersectSubseq(idx, cur, kidSel)
+		scratch = kidSel
+	}
+	return append(sel[:0], cur...), nil
+}
+
+// intersectSubseq intersects a and b, both subsequences of base (which has
+// no duplicate entries), writing the result into a's storage; the output is
+// a subsequence of a produced left to right, so the in-place write is safe.
+func intersectSubseq(base, a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for _, x := range base {
+		inA := i < len(a) && a[i] == x
+		inB := j < len(b) && b[j] == x
+		if inA {
+			i++
+		}
+		if inB {
+			j++
+		}
+		if inA && inB {
+			out = append(out, x)
+		}
+	}
+	return out
 }

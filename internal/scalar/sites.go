@@ -1,0 +1,53 @@
+package scalar
+
+// Site is one rewriteable position inside a scalar expression tree: the
+// subexpression found there plus a Rebuild function that returns a copy of
+// the whole tree with a replacement spliced in at that position. Rebuild is
+// copy-on-write — only the spine from the site to the root is reallocated,
+// and the original tree is never mutated.
+type Site struct {
+	E       Expr
+	Rebuild func(repl Expr) Expr
+}
+
+// RewriteSites enumerates every node of root in deterministic pre-order
+// (node before kids, kids left to right). Callers pick a site, ask the EET
+// catalog for a replacement, and splice it with Rebuild.
+func RewriteSites(root Expr) []Site {
+	var out []Site
+	addSites(root, func(repl Expr) Expr { return repl }, &out)
+	return out
+}
+
+func addSites(e Expr, rebuild func(Expr) Expr, out *[]Site) {
+	*out = append(*out, Site{E: e, Rebuild: rebuild})
+	switch t := e.(type) {
+	case *Cmp:
+		addSites(t.L, func(r Expr) Expr { return rebuild(&Cmp{Op: t.Op, L: r, R: t.R}) }, out)
+		addSites(t.R, func(r Expr) Expr { return rebuild(&Cmp{Op: t.Op, L: t.L, R: r}) }, out)
+	case *Arith:
+		addSites(t.L, func(r Expr) Expr { return rebuild(&Arith{Op: t.Op, L: r, R: t.R}) }, out)
+		addSites(t.R, func(r Expr) Expr { return rebuild(&Arith{Op: t.Op, L: t.L, R: r}) }, out)
+	case *And:
+		for i, k := range t.Kids {
+			i, k := i, k
+			addSites(k, func(r Expr) Expr { return rebuild(&And{Kids: spliceKid(t.Kids, i, r)}) }, out)
+		}
+	case *Or:
+		for i, k := range t.Kids {
+			i, k := i, k
+			addSites(k, func(r Expr) Expr { return rebuild(&Or{Kids: spliceKid(t.Kids, i, r)}) }, out)
+		}
+	case *Not:
+		addSites(t.Kid, func(r Expr) Expr { return rebuild(&Not{Kid: r}) }, out)
+	case *IsNull:
+		addSites(t.Kid, func(r Expr) Expr { return rebuild(&IsNull{Kid: r}) }, out)
+	}
+}
+
+func spliceKid(kids []Expr, i int, repl Expr) []Expr {
+	out := make([]Expr, len(kids))
+	copy(out, kids)
+	out[i] = repl
+	return out
+}

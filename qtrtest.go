@@ -119,6 +119,11 @@ var (
 	// RegistryWithExtensions adds the schema-dependent extension rules
 	// (FK join elimination, OR expansion, select splitting; ids 31-34).
 	RegistryWithExtensions = rules.RegistryWithExtensions
+	// RegistryWithEET adds the expression-level equivalence rewrite
+	// candidates lifted from the scalar EET catalog (ids 41-47).
+	RegistryWithEET = rules.RegistryWithEET
+	// EETRules returns the EET exploration-rule pack itself.
+	EETRules = rules.EETRules
 	// NewBound builds a substitute node over bound children.
 	NewBound = memo.NewBound
 	// PatternNode and PatternAny build rule patterns.
