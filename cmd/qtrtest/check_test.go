@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"qtrtest"
+)
+
+func checkDB(t *testing.T) *qtrtest.DB {
+	t.Helper()
+	return qtrtest.OpenTPCH(0.01, 1)
+}
+
+// TestCheckMutantWithEETExitsNonzero pins the exit-code fix: -mutant and
+// -eet used to be mutually exclusive, so lint findings surfaced only by
+// checking a mutant registry extended with the EET rule pack could never
+// drive a nonzero exit. Now the combination is accepted and a finding on
+// the combined registry must return an error (exit 1 at the CLI).
+func TestCheckMutantWithEETExitsNonzero(t *testing.T) {
+	db := checkDB(t)
+	if err := cmdCheck(db, []string{"-mutant", "wrong-agg", "-eet"}, 2); err == nil {
+		t.Fatal("check -mutant wrong-agg -eet returned nil; lint findings on the combined registry must exit nonzero")
+	}
+}
+
+// TestCheckEETCleanExitsZero: the pristine registry extended with the EET
+// pack lints clean, so the same flag combination without a mutant must
+// return nil.
+func TestCheckEETCleanExitsZero(t *testing.T) {
+	db := checkDB(t)
+	if err := cmdCheck(db, []string{"-eet"}, 2); err != nil {
+		t.Fatalf("check -eet on the pristine registry failed: %v", err)
+	}
+}
+
+// TestCheckXMLExclusive: -xml still rejects the registry-selection flags,
+// since an XML export has no mutant or EET variant to resolve.
+func TestCheckXMLExclusive(t *testing.T) {
+	db := checkDB(t)
+	err := cmdCheck(db, []string{"-xml", "nope.xml", "-mutant", "wrong-agg"}, 2)
+	if err == nil || !strings.Contains(err.Error(), "-xml cannot be combined") {
+		t.Fatalf("check -xml -mutant: err = %v, want the exclusivity error", err)
+	}
+}
+
+// TestCheckDeepPassFlagsMutant: check -verify runs the small-scope semantic
+// verifier as a deep pass; a semantically wrong mutant that the structural
+// linter alone cannot catch must still fail the command.
+func TestCheckDeepPassFlagsMutant(t *testing.T) {
+	db := checkDB(t)
+	if err := cmdCheck(db, []string{"-mutant", "limit-off-by-one", "-verify"}, 4); err == nil {
+		t.Fatal("check -mutant limit-off-by-one -verify returned nil; the deep pass missed the mutant")
+	}
+	if err := cmdCheck(db, []string{"-verify"}, 4); err != nil {
+		t.Fatalf("check -verify on the pristine registry failed: %v", err)
+	}
+}
+
+// TestVerifyCommandExitCodes: the standalone verify command errors exactly
+// when a rule is flagged.
+func TestVerifyCommandExitCodes(t *testing.T) {
+	db := checkDB(t)
+	err := cmdVerify(db, []string{"-mutant", "limit-off-by-one", "-rules", "117"}, 2)
+	if err == nil || !strings.Contains(err.Error(), "1 rule(s) flagged") {
+		t.Fatalf("verify on the limit mutant: err = %v, want a flagged-rule error", err)
+	}
+	if err := cmdVerify(db, []string{"-rules", "116,117"}, 2); err != nil {
+		t.Fatalf("verify on pristine rules 116,117 failed: %v", err)
+	}
+}

@@ -93,7 +93,9 @@ func main() {
 	case "mutate":
 		err = cmdMutate(db, rest, *seed, *workers)
 	case "check":
-		err = cmdCheck(db, rest)
+		err = cmdCheck(db, rest, *workers)
+	case "verify":
+		err = cmdVerify(db, rest, *workers)
 	case "fuzz":
 		err = cmdFuzz(db, rest, *schema, *seed, *workers)
 	case "bench":
@@ -114,7 +116,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|fuzz|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|verify|fuzz|bench> [flags]")
 	os.Exit(2)
 }
 
@@ -368,28 +370,25 @@ func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int) error {
 
 // cmdCheck runs the static rule/pattern linter (internal/rulecheck) over
 // the active registry — or over an XML ruleset export, or over a mutant's
-// registry as a self-test probe — and exits nonzero on findings.
-func cmdCheck(db *qtrtest.DB, args []string) error {
+// registry as a self-test probe, optionally extended with the EET rule pack
+// — and exits nonzero on findings. With -verify it additionally runs the
+// small-scope semantic verifier over the same live registry as a deep pass.
+func cmdCheck(db *qtrtest.DB, args []string, workers int) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	matrix := fs.Bool("matrix", false, "also print the composability feeds relation")
 	xmlFile := fs.String("xml", "", "check a ruleset XML export instead of the active registry")
 	mutant := fs.String("mutant", "", "check the registry of the given mutant kind instead (fault-injection self-test)")
 	eet := fs.Bool("eet", false, "check the registry extended with the EET exploration-rule candidates")
+	deep := fs.Bool("verify", false, "additionally run the small-scope semantic verifier (deep pass)")
 	fs.Parse(args)
-	exclusive := 0
-	for _, set := range []bool{*xmlFile != "", *mutant != "", *eet} {
-		if set {
-			exclusive++
-		}
-	}
-	if exclusive > 1 {
-		return fmt.Errorf("check: -xml, -mutant and -eet are mutually exclusive")
+	if *xmlFile != "" && (*mutant != "" || *eet || *deep) {
+		return fmt.Errorf("check: -xml cannot be combined with -mutant, -eet or -verify")
 	}
 
 	var rep *qtrtest.CheckReport
-	switch {
-	case *xmlFile != "":
+	var vcfg qtrtest.VerifyConfig
+	if *xmlFile != "" {
 		data, err := os.ReadFile(*xmlFile)
 		if err != nil {
 			return err
@@ -399,16 +398,12 @@ func cmdCheck(db *qtrtest.DB, args []string) error {
 			return err
 		}
 		rep = qtrtest.CheckExportedRules(ex)
-	case *mutant != "":
-		ms, err := qtrtest.MutantsByKind(qtrtest.MutantKind(*mutant))
-		if err != nil {
+	} else {
+		var err error
+		if vcfg, err = verifyRegistry(db, *mutant, *eet); err != nil {
 			return err
 		}
-		rep = qtrtest.CheckRules(ms[0].Registry())
-	case *eet:
-		rep = qtrtest.CheckRules(qtrtest.RegistryWithEET())
-	default:
-		rep = qtrtest.CheckRules(db.Registry)
+		rep = qtrtest.CheckRules(vcfg.Registry)
 	}
 
 	if *asJSON {
@@ -431,10 +426,24 @@ func cmdCheck(db *qtrtest.DB, args []string) error {
 			fmt.Print(rep.Matrix)
 		}
 	}
+	lintErr := error(nil)
 	if rep.Failed() {
-		return fmt.Errorf("check: %d finding(s)", rep.Count(qtrtest.CheckError)+rep.Count(qtrtest.CheckWarning))
+		lintErr = fmt.Errorf("check: %d finding(s)", rep.Count(qtrtest.CheckError)+rep.Count(qtrtest.CheckWarning))
 	}
-	return nil
+	if *deep {
+		vcfg.Workers = workers
+		vrep, err := qtrtest.VerifyRules(vcfg)
+		if err != nil {
+			return err
+		}
+		if !*asJSON {
+			vrep.Print(os.Stdout)
+		}
+		if len(vrep.Findings) > 0 {
+			return fmt.Errorf("check: semantic verify flagged %d rule(s)", len(vrep.Findings))
+		}
+	}
+	return lintErr
 }
 
 func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int) error {

@@ -29,7 +29,26 @@ var resultAffecting = []string{
 }
 
 func isResultAffecting(pkgPath string) bool {
-	for _, p := range resultAffecting {
+	return hasPathPrefix(pkgPath, resultAffecting)
+}
+
+// reportPath extends the result-affecting set with the packages that render
+// reports and witnesses for humans and CI: the static analyses, the
+// small-scope verifier, and the CLI itself. Byte-identical report output is
+// part of their contract (worker-count invariance, replayable repro lines),
+// so formatting hazards are flagged there too.
+var reportPath = []string{
+	"qtrtest/internal/rulecheck",
+	"qtrtest/internal/verify",
+	"qtrtest/cmd/qtrtest",
+}
+
+func isReportPath(pkgPath string) bool {
+	return isResultAffecting(pkgPath) || hasPathPrefix(pkgPath, reportPath)
+}
+
+func hasPathPrefix(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
 		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
 			return true
 		}
@@ -39,7 +58,7 @@ func isResultAffecting(pkgPath string) bool {
 
 // All returns every analyzer, in reporting order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{Wallclock, GlobalRand, MapRange, CloseDefer}
+	return []*lint.Analyzer{Wallclock, GlobalRand, MapRange, CloseDefer, MapFmt}
 }
 
 // Wallclock flags time.Now in result-affecting packages. Plans, costs and
@@ -278,6 +297,53 @@ var CloseDefer = &lint.Analyzer{
 					returnsError(sig) {
 					pass.Reportf(def.Pos(),
 						"deferred Close() drops its error; use `defer func() { ... Close() ... }()` to capture or explicitly ignore it")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// fmtFormatting lists the fmt functions that render their arguments into
+// report text.
+var fmtFormatting = map[string]bool{
+	"Sprintf": true, "Printf": true, "Fprintf": true, "Errorf": true,
+	"Sprint": true, "Print": true, "Fprint": true,
+	"Sprintln": true, "Println": true, "Fprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// MapFmt flags map-typed values handed to fmt's formatting functions in
+// report-path packages. fmt renders a map as "map[k:v ...]" with key order
+// that is only partially specified: NaN keys and interface keys of mixed
+// concrete types have no defined relative order, so %v of a map can differ
+// between runs — breaking the byte-identical report contract that repro
+// lines and worker-count invariance depend on. Render entries explicitly in
+// sorted order instead, or annotate a genuinely order-free use with
+// //qtrlint:allow mapfmt <reason>.
+var MapFmt = &lint.Analyzer{
+	Name: "mapfmt",
+	Doc:  "flag fmt-formatting of map-typed values in report-path packages",
+	Run: func(pass *lint.Pass) {
+		if !isReportPath(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, sel := lint.PkgNameOf(pass.Info, call.Fun)
+				if pkg != "fmt" || !fmtFormatting[sel] {
+					return true
+				}
+				for _, arg := range call.Args {
+					if _, isMap := pass.Info.TypeOf(arg).Underlying().(*types.Map); isMap {
+						pass.Reportf(arg.Pos(),
+							"map-typed value formatted by fmt.%s in report path %s; map key order is not fully specified — render entries explicitly in sorted order, or annotate with //qtrlint:allow mapfmt <reason>",
+							sel, pass.Pkg.Path())
+					}
 				}
 				return true
 			})

@@ -222,6 +222,40 @@ func f() {
 	wantFindings(t, got)
 }
 
+func TestMapFmt(t *testing.T) {
+	src := map[string]string{"a.go": `package verify
+import "fmt"
+func bad(m map[string]int) string { return fmt.Sprintf("m=%v", m) }
+func alsoBad(m map[string]int) error { return fmt.Errorf("state: %v", m) }
+func good(m map[string]int) string { return fmt.Sprintf("%d entries", len(m)) }
+`}
+	wantFindings(t, analyze(t, "qtrtest/internal/verify", src),
+		"mapfmt: map-typed value formatted by fmt.Sprintf in report path",
+		"mapfmt: map-typed value formatted by fmt.Errorf in report path")
+	// The same code outside the report-path set is not flagged.
+	wantFindings(t, analyze(t, "qtrtest/internal/scratch", src))
+}
+
+// TestMapFmtReportPathCoversResultAffecting: the report-path set is a
+// superset of the result-affecting one, so fuzz/exec formatting is covered
+// too.
+func TestMapFmtReportPathCoversResultAffecting(t *testing.T) {
+	got := analyze(t, "qtrtest/internal/fuzz", map[string]string{"a.go": `package fuzz
+import "fmt"
+func dump(counts map[int]int) { fmt.Println(counts) }
+`})
+	wantFindings(t, got, "mapfmt: map-typed value formatted by fmt.Println")
+}
+
+func TestMapFmtSuppression(t *testing.T) {
+	got := analyze(t, "qtrtest/cmd/qtrtest", map[string]string{"a.go": `package main
+import "fmt"
+//qtrlint:allow mapfmt single-key map rendered for a debug trace
+func dump(m map[string]int) string { return fmt.Sprint(m) }
+`})
+	wantFindings(t, got)
+}
+
 // TestDeterministicOrderAcrossFiles: diagnostics come out sorted by file
 // and line regardless of map-ordered internals — the determinism bar this
 // tool holds the rest of the repository to.

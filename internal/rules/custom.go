@@ -79,6 +79,18 @@ func RegistryWith(extra ...Rule) *Registry {
 	return NewRegistry(all...)
 }
 
+// Extend returns a registry holding every rule of base plus the extra rules
+// appended in order. Unlike RegistryWith, which always starts from the
+// default rule set, Extend composes with any base — a mutant registry, an
+// already-extended one — which is what lets the check and verify commands
+// combine a fault-injected registry with the EET rule pack. Duplicate ids or
+// names panic via NewRegistry, mirroring the other constructors.
+func Extend(base *Registry, extra ...Rule) *Registry {
+	all := append([]Rule(nil), base.All()...)
+	all = append(all, extra...)
+	return NewRegistry(all...)
+}
+
 // RegistryReplacing returns a registry holding the default rule set with each
 // rule in repl substituted in place (matched by ID), plus the extra rules
 // appended at the end. The substitute occupies the original rule's slot in

@@ -1,0 +1,98 @@
+package verify
+
+import (
+	"fmt"
+
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/scalar"
+)
+
+// lower translates a logical tree into its canonical physical form: one
+// fixed, rule-independent implementation per logical operator (scans,
+// filters, nested-loop joins, hash aggregation, concatenation). Both sides
+// of an exploration rewrite are lowered this way, so the only semantic
+// difference between the compared plans is the rewrite itself; for
+// implementation rules the canonical plan is the reference the rule's own
+// candidate is checked against.
+func lower(e *logical.Expr) *physical.Expr {
+	kids := make([]*physical.Expr, len(e.Children))
+	for i, c := range e.Children {
+		kids[i] = lower(c)
+	}
+	out := &physical.Expr{Children: kids}
+	switch e.Op {
+	case logical.OpGet:
+		out.Op = physical.OpScan
+		out.Table = e.Table
+		out.Cols = e.Cols
+	case logical.OpSelect:
+		out.Op = physical.OpFilter
+		out.Filter = e.Filter
+	case logical.OpProject:
+		out.Op = physical.OpProject
+		out.Projs = e.Projs
+	case logical.OpJoin, logical.OpLeftJoin, logical.OpSemiJoin, logical.OpAntiJoin:
+		out.Op = physical.OpNLJoin
+		out.JoinType = joinTypeOf(e.Op)
+		out.On = e.On
+	case logical.OpGroupBy:
+		out.Op = physical.OpHashAgg
+		out.GroupCols = e.GroupCols
+		out.Aggs = e.Aggs
+	case logical.OpUnionAll:
+		out.Op = physical.OpConcat
+		out.OutCols = e.OutCols
+		out.InputCols = e.InputCols
+	case logical.OpSort:
+		out.Op = physical.OpSort
+		out.Keys = e.Keys
+	case logical.OpLimit:
+		out.Op = physical.OpLimit
+		out.N = e.N
+	default:
+		panic(fmt.Sprintf("verify: cannot canonically lower %v", e.Op))
+	}
+	return out
+}
+
+func joinTypeOf(op logical.Op) physical.JoinType {
+	switch op {
+	case logical.OpLeftJoin:
+		return physical.JoinLeft
+	case logical.OpSemiJoin:
+		return physical.JoinSemi
+	case logical.OpAntiJoin:
+		return physical.JoinAnti
+	}
+	return physical.JoinInner
+}
+
+// wrapProject puts a pure column-reference projection over the tree, fixing
+// the output column ORDER to the given list. Substitutes in a memo group
+// agree with the original on the output column SET but may reorder it (a
+// commuted join emits right++left); comparing through a canonical
+// projection makes the multiset oracle see both sides in one layout.
+func wrapProject(tree *logical.Expr, cols []scalar.ColumnID) *logical.Expr {
+	projs := make([]logical.ProjItem, len(cols))
+	for i, c := range cols {
+		projs[i] = logical.ProjItem{Out: c, E: &scalar.ColRef{ID: c}}
+	}
+	return &logical.Expr{Op: logical.OpProject, Projs: projs, Children: []*logical.Expr{tree}}
+}
+
+// extractBound rebuilds the logical tree a substitute denotes: bound nodes
+// contribute their payloads, and leaf references pull the referenced group's
+// original expression out of the memo.
+func extractBound(m *memo.Memo, b *memo.BoundExpr) *logical.Expr {
+	if b.IsLeaf() {
+		return m.ExtractFirst(b.Group)
+	}
+	node := *b.Node
+	node.Children = make([]*logical.Expr, len(b.Kids))
+	for i, k := range b.Kids {
+		node.Children[i] = extractBound(m, k)
+	}
+	return &node
+}

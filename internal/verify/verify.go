@@ -1,0 +1,373 @@
+// Package verify implements a small-scope semantic verifier for
+// transformation rules: for every rule it enumerates canonical
+// instantiations of the rule's pattern over a tiny fixed schema, pairs each
+// instantiation with every abstract database up to a bounded size (small
+// integer domains, NULLs, duplicate rows), executes both sides of the
+// rewrite with the execution engine, and compares the results under the
+// correct sensitivity (multiset by default, positional when a sort pins the
+// order, undetermined for LIMIT without order — exec.CompareResults).
+//
+// The check is static in the campaign sense: no query generation, no
+// optimizer search, no randomness — the same bounded-exhaustive sweep every
+// run, byte-identical at any worker count. Under the small-scope hypothesis
+// (most rule bugs already show up on tiny inputs), a rule that survives
+// every instantiation×database pair is very likely sound; a rule that fails
+// any pair is definitely broken, and the first failing pair — databases are
+// enumerated smallest-first — is emitted as a minimal replayable witness.
+//
+// Soundness caveat: the sweep is exhaustive only within its bounds (operator
+// payload vocabulary, ≤3 tables, ≤3 rows per table, values {NULL,0,1,2}).
+// A bug that needs a larger scope — wider schemas, deeper predicate nesting,
+// overflow-range arithmetic — is outside the net. The fuzzing and mutation
+// campaigns remain the backstop for that tail.
+package verify
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"qtrtest/internal/exec"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/memo"
+	"qtrtest/internal/par"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/rules"
+)
+
+// ReportSchema identifies the report's JSON shape.
+const ReportSchema = "qtrtest-verify/v1"
+
+// Execution caps per plan run. The databases are tiny, so any plan that
+// trips these is pathological (e.g. a fault turned a join into a repeated
+// cross product under rescanning); such runs are skipped, not failed.
+const (
+	maxResultRows = 256
+	maxWorkRows   = 4096
+)
+
+// Config tunes one verification run.
+type Config struct {
+	// Registry is the rule set to verify; nil means the default registry.
+	Registry *rules.Registry
+	// Rules restricts the run to the given rule ids (default: all).
+	Rules []rules.ID
+	// Mutant labels the registry's mutant kind in the report and repro
+	// lines; it does not alter the check.
+	Mutant string
+	// EET records that the registry includes the EET rule pack, for the
+	// report and repro lines.
+	EET bool
+	// Workers sizes the worker pool (0 = GOMAXPROCS); the report is
+	// byte-identical for every value.
+	Workers int
+}
+
+// Finding is one verified rule failure: the smallest failing
+// instantiation×database pair with both plans and a replay line.
+type Finding struct {
+	Rule         int    `json:"rule"`
+	RuleName     string `json:"rule_name"`
+	RuleKind     string `json:"rule_kind"`
+	Instance     string `json:"instance"`
+	Database     string `json:"database"`
+	DatabaseRows int    `json:"database_rows"`
+	BasePlan     string `json:"base_plan"`
+	AltPlan      string `json:"alt_plan"`
+	Detail       string `json:"detail"`
+	// FailingPairs counts every failing instantiation×database×substitute
+	// triple for the rule; the finding itself renders only the first.
+	FailingPairs int    `json:"failing_pairs"`
+	Repro        string `json:"repro"`
+}
+
+// RuleStat is one rule's sweep accounting.
+type RuleStat struct {
+	Rule         int    `json:"rule"`
+	Name         string `json:"name"`
+	Kind         string `json:"kind"`
+	Instances    int    `json:"instances"`
+	Pairs        int    `json:"pairs"`
+	Executed     int    `json:"executed"`
+	Identical    int    `json:"identical"`
+	Undetermined int    `json:"undetermined"`
+	Skipped      int    `json:"skipped"`
+	Failing      int    `json:"failing"`
+	Truncated    bool   `json:"truncated,omitempty"`
+}
+
+// Report is a verification run's deterministic outcome.
+type Report struct {
+	Schema       string     `json:"schema"`
+	Mutant       string     `json:"mutant,omitempty"`
+	EET          bool       `json:"eet,omitempty"`
+	Rules        int        `json:"rules"`
+	Exercised    int        `json:"exercised"`
+	Pairs        int        `json:"pairs"`
+	Executed     int        `json:"executed"`
+	Identical    int        `json:"identical"`
+	Undetermined int        `json:"undetermined"`
+	Skipped      int        `json:"skipped"`
+	Findings     []Finding  `json:"findings"`
+	Stats        []RuleStat `json:"stats"`
+}
+
+// JSON renders the report; the output is byte-identical across runs and
+// worker counts.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Print renders the report for terminals.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "verify: registry=%s rules=%d exercised=%d pairs=%d executed=%d identical=%d undetermined=%d skipped=%d findings=%d\n",
+		r.registryLabel(), r.Rules, r.Exercised, r.Pairs, r.Executed, r.Identical, r.Undetermined, r.Skipped, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "\nFINDING rule #%d %s (%s): %s\n", f.Rule, f.RuleName, f.RuleKind, f.Detail)
+		fmt.Fprintf(w, "  database: %s (%d rows)\n", f.Database, f.DatabaseRows)
+		fmt.Fprintf(w, "  instance:\n%s", indent(f.Instance, "    "))
+		fmt.Fprintf(w, "  base plan:\n%s", indent(f.BasePlan, "    "))
+		fmt.Fprintf(w, "  alt plan:\n%s", indent(f.AltPlan, "    "))
+		fmt.Fprintf(w, "  failing pairs: %d\n", f.FailingPairs)
+		fmt.Fprintf(w, "  repro: %s\n", f.Repro)
+	}
+}
+
+func (r *Report) registryLabel() string {
+	label := "default"
+	if r.Mutant != "" {
+		label = "mutant:" + r.Mutant
+	}
+	if r.EET {
+		label += "+eet"
+	}
+	return label
+}
+
+func indent(s, pad string) string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return ""
+	}
+	return pad + strings.ReplaceAll(s, "\n", "\n"+pad) + "\n"
+}
+
+// Run verifies every selected rule of the registry and returns the report.
+// The only error conditions are configuration mistakes (an unknown rule id);
+// rule failures are reported as findings, not errors.
+func Run(cfg Config) (*Report, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = rules.DefaultRegistry()
+	}
+	targets := reg.All()
+	if len(cfg.Rules) > 0 {
+		want := make(map[rules.ID]bool, len(cfg.Rules))
+		for _, id := range cfg.Rules {
+			if _, err := reg.ByID(id); err != nil {
+				return nil, fmt.Errorf("verify: %w", err)
+			}
+			want[id] = true
+		}
+		var sel []rules.Rule
+		for _, r := range targets {
+			if want[r.ID()] {
+				sel = append(sel, r)
+			}
+		}
+		targets = sel
+	}
+	results := make([]*ruleResult, len(targets))
+	par.ForEach(cfg.Workers, len(targets), func(i int) {
+		results[i] = checkRule(targets[i], &cfg)
+	})
+	rep := &Report{Schema: ReportSchema, Mutant: cfg.Mutant, EET: cfg.EET, Rules: len(targets)}
+	for _, res := range results {
+		rep.Stats = append(rep.Stats, res.stat)
+		rep.Pairs += res.stat.Pairs
+		rep.Executed += res.stat.Executed
+		rep.Identical += res.stat.Identical
+		rep.Undetermined += res.stat.Undetermined
+		rep.Skipped += res.stat.Skipped
+		if res.stat.Instances > 0 {
+			rep.Exercised++
+		}
+		if res.finding != nil {
+			res.finding.FailingPairs = res.stat.Failing
+			rep.Findings = append(rep.Findings, *res.finding)
+		}
+	}
+	return rep, nil
+}
+
+// ruleResult is one rule's private accumulator; the driver merges them in
+// registry order, which is what makes the report worker-count independent.
+type ruleResult struct {
+	cfg     *Config
+	stat    RuleStat
+	finding *Finding
+}
+
+func checkRule(r rules.Rule, cfg *Config) *ruleResult {
+	res := &ruleResult{cfg: cfg, stat: RuleStat{
+		Rule: int(r.ID()), Name: r.Name(), Kind: r.Kind().String(),
+	}}
+	insts, truncated := enumerate(r.Pattern())
+	res.stat.Truncated = truncated
+	for _, inst := range insts {
+		switch rr := r.(type) {
+		case rules.ExplorationRule:
+			res.checkExploration(rr, inst)
+		case rules.ImplementationRule:
+			res.checkImplementation(rr, inst)
+		}
+	}
+	return res
+}
+
+// checkExploration applies the rule to one instantiation inside a private
+// memo and compares every substitute against the original tree. Both sides
+// are wrapped in a canonical projection over the root group's sorted column
+// set before lowering: substitutes agree with the original on the output
+// column set but may reorder it.
+func (res *ruleResult) checkExploration(r rules.ExplorationRule, inst *instance) {
+	m := memo.New(inst.md)
+	g := m.Insert(inst.tree)
+	root := m.Group(g).Exprs[0]
+	ctx := &rules.Context{Memo: m}
+	var altTrees []*logical.Expr
+	for _, bnd := range rules.Bind(m, root, r.Pattern()) {
+		for _, sub := range r.Apply(ctx, bnd) {
+			if sub != nil {
+				altTrees = append(altTrees, extractBound(m, sub))
+			}
+		}
+	}
+	if len(altTrees) == 0 {
+		return
+	}
+	res.stat.Instances++
+	outCols := m.Group(g).Cols.Sorted()
+	base := lower(wrapProject(inst.tree, outCols))
+	alts := make([]*physical.Expr, len(altTrees))
+	for i, t := range altTrees {
+		alts[i] = lower(wrapProject(t, outCols))
+	}
+	res.comparePlans(r, inst, base, alts)
+}
+
+// checkImplementation asks the rule for its physical candidates over one
+// instantiation and compares each against the canonical lowering of the
+// whole tree. Candidates come back as payload-only root nodes (children
+// unset, 1:1 with the memo expression's kid groups); the canonical lowering
+// of each kid group's tree is grafted underneath.
+func (res *ruleResult) checkImplementation(r rules.ImplementationRule, inst *instance) {
+	m := memo.New(inst.md)
+	g := m.Insert(inst.tree)
+	root := m.Group(g).Exprs[0]
+	ctx := &rules.Context{Memo: m}
+	var alts []*physical.Expr
+	for _, cand := range r.Implement(ctx, root) {
+		if cand == nil {
+			continue
+		}
+		cand.Children = make([]*physical.Expr, len(root.Kids))
+		for i, kid := range root.Kids {
+			cand.Children[i] = lower(m.ExtractFirst(kid))
+		}
+		alts = append(alts, cand)
+	}
+	if len(alts) == 0 {
+		return
+	}
+	res.stat.Instances++
+	res.comparePlans(r, inst, lower(inst.tree), alts)
+}
+
+// comparePlans sweeps every database over the live (structurally different)
+// substitutes. A substitute whose plan hash equals the base plan's is
+// equivalent by construction and never executed — that is what lets the
+// pristine identity-shaped implementation rules (SelectToFilter, SortToSort,
+// LimitToLimit, ...) verify with zero executions while their mutated
+// variants, whose payloads differ, still get the full sweep.
+func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, base *physical.Expr, alts []*physical.Expr) {
+	baseHash := base.Hash()
+	var live []*physical.Expr
+	for _, alt := range alts {
+		if alt.Hash() == baseHash {
+			res.stat.Pairs++
+			res.stat.Identical++
+			continue
+		}
+		live = append(live, alt)
+	}
+	if len(live) == 0 {
+		return
+	}
+	baseOrder := exec.RootOrder(base)
+	orders := make([]exec.PlanOrder, len(live))
+	for i, alt := range live {
+		orders[i] = exec.RootOrder(alt)
+	}
+	for _, db := range enumerateDatabases(inst.tables) {
+		cat := buildCatalog(db)
+		baseRows, err := exec.RunEngine(exec.EngineBatch, base, cat, maxResultRows, maxWorkRows)
+		if err != nil {
+			// The base side is the canonical lowering; only a budget trip
+			// can fail it, and then no comparison on this database is
+			// meaningful.
+			res.stat.Pairs += len(live)
+			res.stat.Skipped += len(live)
+			continue
+		}
+		for i, alt := range live {
+			res.stat.Pairs++
+			altRows, err := exec.RunEngine(exec.EngineBatch, alt, cat, maxResultRows, maxWorkRows)
+			if err != nil {
+				if errors.Is(err, exec.ErrRowLimit) {
+					res.stat.Skipped++
+					continue
+				}
+				res.fail(r, inst, db, base, alt, "execution error: "+err.Error())
+				continue
+			}
+			res.stat.Executed++
+			verdict, detail := exec.CompareResults(baseRows, baseOrder, altRows, orders[i])
+			switch verdict {
+			case exec.VerdictMismatch:
+				res.fail(r, inst, db, base, alt, detail)
+			case exec.VerdictUndetermined:
+				res.stat.Undetermined++
+			}
+		}
+	}
+}
+
+// fail records a failing pair; only the first — smallest database, earliest
+// instantiation — is rendered as the rule's witness.
+func (res *ruleResult) fail(r rules.Rule, inst *instance, db database, base, alt *physical.Expr, detail string) {
+	res.stat.Failing++
+	if res.finding != nil {
+		return
+	}
+	repro := "qtrtest verify"
+	if res.cfg.Mutant != "" {
+		repro += " -mutant " + res.cfg.Mutant
+	}
+	if res.cfg.EET {
+		repro += " -eet"
+	}
+	repro += fmt.Sprintf(" -rules %d", r.ID())
+	res.finding = &Finding{
+		Rule:         int(r.ID()),
+		RuleName:     r.Name(),
+		RuleKind:     r.Kind().String(),
+		Instance:     inst.tree.String(),
+		Database:     db.label(),
+		DatabaseRows: db.total,
+		BasePlan:     base.String(),
+		AltPlan:      alt.String(),
+		Detail:       detail,
+		Repro:        repro,
+	}
+}

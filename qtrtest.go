@@ -41,6 +41,7 @@ import (
 	"qtrtest/internal/rulecheck"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/scalar"
+	"qtrtest/internal/verify"
 )
 
 // Re-exported types: the full API of the underlying packages is available
@@ -265,6 +266,30 @@ func (db *DB) Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 	}
 	return fuzz.Run(cfg)
 }
+
+// Small-scope semantic verification surface (internal/verify): the
+// bounded-exhaustive rule verifier behind `qtrtest verify`, which executes
+// both sides of every rule rewrite over tiny databases and compares results
+// under the §2.3 oracle's sensitivity.
+type (
+	// VerifyConfig tunes one verification run (registry, rule filter,
+	// workers).
+	VerifyConfig = verify.Config
+	// VerifyReport is a verification run's deterministic outcome.
+	VerifyReport = verify.Report
+	// VerifyFinding is one verified rule failure with its minimal witness.
+	VerifyFinding = verify.Finding
+)
+
+// Verification helpers, re-exported from the verify and rules packages.
+var (
+	// VerifyRules runs the small-scope semantic verifier over a registry.
+	VerifyRules = verify.Run
+	// RegistryExtend appends extra rules to any base registry (a mutant
+	// registry, an extended one), unlike RegistryWith which always starts
+	// from the default rule set.
+	RegistryExtend = rules.Extend
+)
 
 // RuleSetOf returns RuleSet(q): the rules exercised when optimizing the
 // query (§2.2).

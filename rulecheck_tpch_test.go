@@ -1,6 +1,7 @@
 package qtrtest_test
 
 import (
+	"fmt"
 	"testing"
 
 	"qtrtest"
@@ -20,9 +21,10 @@ import (
 //     expression a created), some declared output shape of a must overlap
 //     b's pattern — otherwise a rule's Produces() declaration is wrong.
 
-// explorationPairs runs the workload and collects, per query, the
-// co-exercised exploration-rule pairs and the observed interactions.
-func explorationPairs(t *testing.T, db *qtrtest.DB) (co, inter map[[2]qtrtest.RuleID]bool) {
+// explorationPairs runs the workload (plus any extra queries) and collects,
+// per query, the co-exercised exploration-rule pairs and the observed
+// interactions.
+func explorationPairs(t *testing.T, db *qtrtest.DB, extra ...string) (co, inter map[[2]qtrtest.RuleID]bool) {
 	t.Helper()
 	isExpl := make(map[qtrtest.RuleID]bool)
 	for _, r := range db.Registry.All() {
@@ -30,9 +32,16 @@ func explorationPairs(t *testing.T, db *qtrtest.DB) (co, inter map[[2]qtrtest.Ru
 			isExpl[r.ID()] = true
 		}
 	}
+	queries := make([]struct{ name, sql string }, 0, len(workload)+len(extra))
+	for _, q := range workload {
+		queries = append(queries, struct{ name, sql string }{q.name, q.sql})
+	}
+	for i, sql := range extra {
+		queries = append(queries, struct{ name, sql string }{fmt.Sprintf("extra_%d", i), sql})
+	}
 	co = make(map[[2]qtrtest.RuleID]bool)
 	inter = make(map[[2]qtrtest.RuleID]bool)
-	for _, q := range workload {
+	for _, q := range queries {
 		res, err := db.Optimize(q.sql)
 		if err != nil {
 			t.Fatalf("%s: %v", q.name, err)
@@ -72,6 +81,67 @@ func TestMatrixAgreesWithRuleSetProbing(t *testing.T) {
 			t.Errorf("rules #%d and #%d co-exercised on TPC-H but matrix says incomposable (mode=%s)",
 				pair[0], pair[1], matrix.ModeOf(pair[0], pair[1]))
 		}
+	}
+}
+
+// eetWorkload supplements the TPC-H workload with predicate shapes the base
+// queries lack — arithmetic inside filters, nested arithmetic, bare
+// comparisons and conjunctions at the filter root — so that every EET
+// rewrite (rules 41-47) fires on at least one query.
+var eetWorkload = []string{
+	"SELECT l_orderkey FROM lineitem WHERE l_quantity + l_linenumber >= 45",
+	"SELECT l_orderkey FROM lineitem WHERE (l_quantity + l_linenumber) + l_partkey >= 45",
+	"SELECT o_orderkey FROM orders WHERE o_orderdate >= 1000 AND o_orderdate < 2000",
+	"SELECT n_name FROM nation WHERE n_regionkey = 1",
+}
+
+// TestEETMatrixCrossValidation: the PR-3 containment properties extended to
+// the EET-enabled registry. Every EET rule must actually fire on the probe
+// workload (a rewrite that stopped matching would silently drop out of the
+// matrix's dynamic validation), every co-exercised pair involving an EET
+// rule must be composable, and every observed EET interaction must be
+// explained by the rules' declared Produces shapes.
+func TestEETMatrixCrossValidation(t *testing.T) {
+	base := qtrtest.OpenTPCH(1.0, 42)
+	db := qtrtest.Open(base.Catalog, qtrtest.RegistryWithEET())
+	matrix := qtrtest.RuleComposability(db.Registry)
+	if matrix == nil {
+		t.Fatal("nil composability matrix")
+	}
+	co, inter := explorationPairs(t, db, eetWorkload...)
+
+	eetExercised := make(map[qtrtest.RuleID]bool)
+	for pair := range co {
+		for _, id := range []qtrtest.RuleID{pair[0], pair[1]} {
+			if id >= 41 && id <= 47 {
+				eetExercised[id] = true
+			}
+		}
+	}
+	for id := qtrtest.RuleID(41); id <= 47; id++ {
+		if !eetExercised[id] {
+			t.Errorf("EET rule #%d never fired on the probe workload; coverage gap", id)
+		}
+	}
+
+	for pair := range co {
+		if !matrix.Composable(pair[0], pair[1]) {
+			t.Errorf("rules #%d and #%d co-exercised but matrix says incomposable (mode=%s)",
+				pair[0], pair[1], matrix.ModeOf(pair[0], pair[1]))
+		}
+	}
+	eetInteractions := 0
+	for pair := range inter {
+		if pair[0] >= 41 && pair[0] <= 47 || pair[1] >= 41 && pair[1] <= 47 {
+			eetInteractions++
+		}
+		if !matrix.FeedsInto(pair[0], pair[1]) {
+			t.Errorf("observed interaction #%d→#%d but no declared output shape of #%d overlaps #%d's pattern",
+				pair[0], pair[1], pair[0], pair[1])
+		}
+	}
+	if eetInteractions == 0 {
+		t.Error("no interaction involving an EET rule observed; probe too weak to validate the EET Produces declarations")
 	}
 }
 

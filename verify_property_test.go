@@ -1,0 +1,46 @@
+package qtrtest_test
+
+import (
+	"testing"
+
+	"qtrtest"
+)
+
+// TestVerifyCleanImpliesFuzzClean is the property linking the static and
+// dynamic halves of the framework: if the small-scope semantic verifier
+// finds nothing wrong with the pristine registry, a fuzz campaign over the
+// same rules must not either. A finding on exactly one side would mean
+// either the verifier's instantiation vocabulary lost the shape the fuzzer
+// stumbled into (a small-scope-hypothesis violation worth a new canonical
+// instance) or the fuzzer's oracles drifted from the executor semantics the
+// verifier pins. Run on two seeds so the fuzz half is not a single-sample
+// fluke.
+func TestVerifyCleanImpliesFuzzClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign in -short mode")
+	}
+	vrep, err := qtrtest.VerifyRules(qtrtest.VerifyConfig{})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(vrep.Findings) != 0 {
+		for _, f := range vrep.Findings {
+			t.Errorf("verify flagged pristine rule #%d %s: %s", f.Rule, f.RuleName, f.Detail)
+		}
+		t.Fatal("premise failed: pristine registry is not verify-clean")
+	}
+	for _, seed := range []int64{1, 42} {
+		db := qtrtest.OpenTPCH(0.5, seed)
+		frep, err := db.Fuzz(qtrtest.FuzzConfig{Seed: seed, N: 96, DB: "tpch"})
+		if err != nil {
+			t.Fatalf("seed %d: fuzz: %v", seed, err)
+		}
+		for _, f := range frep.Findings {
+			t.Errorf("seed %d: fuzz found %s fault the verifier missed: %s\n  repro: %s",
+				seed, f.Kind, f.Detail, f.Repro)
+		}
+		if frep.PlanExecutions == 0 {
+			t.Errorf("seed %d: fuzz executed no plans; the property check is vacuous", seed)
+		}
+	}
+}
