@@ -48,25 +48,42 @@ const benchQuery = `SELECT c_nationkey, COUNT(*) AS cnt
 	FROM customer JOIN orders ON c_custkey = o_custkey
 	WHERE o_totalprice > 1000 GROUP BY c_nationkey`
 
-// cmdBench measures the optimizer hot path and the end-to-end campaign
-// engine with testing.Benchmark and writes a qtrtest-bench/v1 JSON report.
+// cmdBench measures the optimizer hot path and the end-to-end graph-build
+// pipeline with testing.Benchmark and writes a qtrtest-bench/v1 JSON report.
 // With -exec it instead measures the execution engines (batch vs the row
 // baseline; see benchExecReport) and defaults the output to BENCH_exec.json.
+// With -campaign it measures the campaign pipelines with the plan-result
+// cache on (Benchmarks) against cache off (Baseline; see benchCampaignReport)
+// and defaults the output to BENCH_campaign.json.
 func cmdBench(db *qtrtest.DB, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("o", "", "output file (- for stdout; defaults per mode)")
 	commit := fs.String("commit", "", "optional commit label recorded in the report")
-	campaign := fs.Bool("campaign", true, "include the end-to-end campaign benchmark (slow)")
+	graph := fs.Bool("graph", true, "include the end-to-end graph-build benchmark (slow)")
 	execMode := fs.Bool("exec", false, "benchmark the execution engines (row vs batch) instead of the optimizer")
-	rounds := fs.Int("rounds", 3, "interleaved measurement rounds per engine in -exec mode")
+	campaignMode := fs.Bool("campaign", false, "benchmark the campaign pipelines with the result cache on vs off instead of the optimizer")
+	rounds := fs.Int("rounds", 3, "interleaved measurement rounds per arm in -exec/-campaign mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *execMode && *campaignMode {
+		return fmt.Errorf("bench: -exec and -campaign are mutually exclusive")
 	}
 	if *execMode {
 		if *out == "" {
 			*out = "BENCH_exec.json"
 		}
 		report, err := benchExecReport(*commit, *rounds)
+		if err != nil {
+			return err
+		}
+		return writeBenchReport(report, *out)
+	}
+	if *campaignMode {
+		if *out == "" {
+			*out = "BENCH_campaign.json"
+		}
+		report, err := benchCampaignReport(*commit, *rounds)
 		if err != nil {
 			return err
 		}
@@ -110,7 +127,7 @@ func cmdBench(db *qtrtest.DB, args []string) error {
 		}},
 	}
 
-	if *campaign {
+	if *graph {
 		campRes := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"qtrtest"
+)
+
+// benchCampaignReport measures the suite-validation campaign with the
+// plan-result cache on against the same campaign with it off, and returns a
+// qtrtest-bench/v1 report with the cached numbers in Benchmarks and the
+// uncached numbers in the Baseline block — the same before/after layout
+// BENCH_exec.json uses for batch-versus-row.
+//
+// The workload is the campaign whose structure actually repeats executions:
+// validating the two compressed suites (SMC, then TOPK) against the
+// database. Both algorithms select from the same edge universe, so their
+// suites overlap heavily in base plans and edge plans — the second suite's
+// validation is mostly cache hits. Validation is measured at workers=1 and
+// workers=8; the parallel arm additionally exercises the cache's
+// single-flight path under real contention.
+//
+// The other campaign types are deliberately not in the report, with the
+// numbers that justify leaving them out (DESIGN.md §14): mutation campaigns
+// regenerate suites per mutant registry inside the campaign, so optimizer
+// time dominates and the cache trims allocations ~2× but wall time only
+// ~1.1×; fuzzing generates fresh random queries whose plans rarely recur
+// (~1.1×; its intra-query duplicates die at the identical-plan skip before
+// the cache); verify executes micro-plans against ≤3-row databases where
+// keying overhead outweighs the executions memoized (<1×). All are
+// cache-correct — in-tree differential tests pin byte-identical reports —
+// they just are not where the cache's time lives.
+//
+// Each iteration validates both suites against a fresh cache, so the
+// speedup measured is the intra-campaign overlap the cache actually
+// exploits — never the degenerate case of re-running an identical campaign
+// against a warm cache. Workloads are measured `rounds` times per arm with
+// the arms interleaved round by round, so drift hits both sides equally,
+// and the report records the median round.
+func benchCampaignReport(commit string, rounds int) (*benchReport, error) {
+	// A larger database makes each plan execution carry real work while
+	// suite generation (outside the measured loop) stays constant.
+	db := qtrtest.OpenTPCH(60, 42)
+	g, err := db.GenerateSuite(qtrtest.PairTargets(db.ExplorationRuleIDs(10)),
+		qtrtest.SuiteConfig{K: 4, Seed: 9, ExtraOps: 3, Workers: 4})
+	if err != nil {
+		return nil, err
+	}
+	var sols []*qtrtest.Solution
+	for _, build := range []func() (*qtrtest.Solution, error){g.SetMultiCover, g.TopKIndependent} {
+		sol, err := build()
+		if err != nil {
+			return nil, err
+		}
+		sols = append(sols, sol)
+	}
+
+	newCache := func(cached bool) *qtrtest.ResultCache {
+		if !cached {
+			return nil
+		}
+		return qtrtest.NewResultCache(0)
+	}
+	validate := func(workers int) func(cached bool, b *testing.B) {
+		return func(cached bool, b *testing.B) {
+			g.SetWorkers(workers)
+			for i := 0; i < b.N; i++ {
+				g.SetCache(newCache(cached))
+				for _, sol := range sols {
+					if _, err := g.Run(sol, db.Optimizer, db.Catalog); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	type workload struct {
+		name string
+		run  func(cached bool, b *testing.B)
+	}
+	workloads := []workload{
+		{name: "Campaign/SuiteValidate/workers=1", run: validate(1)},
+		{name: "Campaign/SuiteValidate/workers=8", run: validate(8)},
+	}
+
+	arms := []bool{false, true}
+	samples := make(map[string]map[bool][]benchEntry)
+	for _, w := range workloads {
+		samples[w.name] = make(map[bool][]benchEntry)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, cached := range arms {
+			for _, w := range workloads {
+				w, cached := w, cached
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					w.run(cached, b)
+				})
+				samples[w.name][cached] = append(samples[w.name][cached], benchEntry{
+					Name:        w.name,
+					Iterations:  res.N,
+					NsPerOp:     float64(res.NsPerOp()),
+					BytesPerOp:  res.AllocedBytesPerOp(),
+					AllocsPerOp: res.AllocsPerOp(),
+				})
+			}
+		}
+	}
+
+	report := &benchReport{
+		Schema:    "qtrtest-bench/v1",
+		GoVersion: runtime.Version(),
+		Commit:    commit,
+		Baseline: &baselineBlock{
+			Commit: commit,
+			Note: fmt.Sprintf("result cache off (direct execution) on the same commit; "+
+				"median of %d rounds, arms interleaved per round, fresh cache per campaign iteration", rounds),
+		},
+	}
+	for _, w := range workloads {
+		report.Benchmarks = append(report.Benchmarks, medianEntry(samples[w.name][true]))
+		report.Baseline.Benchmarks = append(report.Baseline.Benchmarks, medianEntry(samples[w.name][false]))
+	}
+	return report, nil
+}

@@ -16,12 +16,16 @@
 //	qtrtest mutate [-k 4] [-targets 0] [-extra 0] [-kinds a,b] [-diff]
 //	qtrtest check [-json] [-matrix] [-xml file] [-mutant kind] [-eet]
 //	qtrtest fuzz [-n 500] [-timeout 30s] [-json] [-mutant kind] [-randcat] [-eet] [-stop-on-finding]
-//	qtrtest bench [-o BENCH_optimizer.json] [-campaign=false]
+//	qtrtest bench [-o BENCH_optimizer.json] [-graph=false]
 //	qtrtest bench -exec [-o BENCH_exec.json] [-rounds 3]
+//	qtrtest bench -campaign [-o BENCH_campaign.json] [-rounds 3]
 //
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
 // -workers (worker pool size for the parallel campaign engine; suites,
 // solutions and validation reports are identical for every value),
+// -cache/-cachemb (campaign-wide plan-result cache; reports are
+// byte-identical with it on or off), -cachestats (print cache hit/miss/
+// eviction counters to stderr after the run),
 // -cpuprofile/-memprofile (write pprof profiles for the run).
 package main
 
@@ -44,6 +48,9 @@ func main() {
 	schema := flag.String("db", "tpch", "test database: tpch or star")
 	ext := flag.Bool("ext", false, "enable the schema-dependent extension rules (31-34)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for suite generation/compression/execution (results are identical for any value)")
+	cacheOn := flag.Bool("cache", true, "memoize plan-execution results across the campaign (reports are byte-identical either way)")
+	cacheMB := flag.Int("cachemb", 256, "result-cache memory budget in MiB")
+	cacheStats := flag.Bool("cachestats", false, "print result-cache hit/miss/eviction counters to stderr after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -69,6 +76,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qtrtest:", err)
 		os.Exit(1)
 	}
+	// A nil cache is valid everywhere and means direct execution. Stats stay
+	// on stderr so JSON reports on stdout remain byte-identical either way.
+	var rc *qtrtest.ResultCache
+	if *cacheOn {
+		rc = qtrtest.NewResultCache(int64(*cacheMB) << 20)
+	}
 	cmd, rest := args[0], args[1:]
 	unknown := false
 	switch cmd {
@@ -87,17 +100,17 @@ func main() {
 	case "query":
 		err = cmdQuery(db, rest)
 	case "suite":
-		err = cmdSuite(db, rest, *seed, *workers)
+		err = cmdSuite(db, rest, *seed, *workers, rc)
 	case "interactions":
 		err = cmdInteractions(db, rest, *seed)
 	case "mutate":
-		err = cmdMutate(db, rest, *seed, *workers)
+		err = cmdMutate(db, rest, *seed, *workers, rc)
 	case "check":
-		err = cmdCheck(db, rest, *workers)
+		err = cmdCheck(db, rest, *workers, rc)
 	case "verify":
-		err = cmdVerify(db, rest, *workers)
+		err = cmdVerify(db, rest, *workers, rc)
 	case "fuzz":
-		err = cmdFuzz(db, rest, *schema, *seed, *workers)
+		err = cmdFuzz(db, rest, *schema, *seed, *workers, rc)
 	case "bench":
 		err = cmdBench(db, rest)
 	default:
@@ -105,6 +118,11 @@ func main() {
 	}
 	if perr := profile.Stop(); perr != nil && err == nil {
 		err = perr
+	}
+	if *cacheStats {
+		st := rc.Stats()
+		fmt.Fprintf(os.Stderr, "cachestats: hits=%d misses=%d evictions=%d entries=%d bytes=%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
 	}
 	if unknown {
 		usage()
@@ -116,7 +134,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|verify|fuzz|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cache=false] [-cachemb M] [-cachestats] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|verify|fuzz|bench> [flags]")
 	os.Exit(2)
 }
 
@@ -336,7 +354,7 @@ func cmdInteractions(db *qtrtest.DB, args []string, seed int64) error {
 // cmdMutate runs the rule-mutation fault-injection campaign: one full
 // generate/compress/execute pipeline per injected rule fault, reporting the
 // mutation score of the uncompressed and compressed suites.
-func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int) error {
+func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtest.ResultCache) error {
 	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
 	k := fs.Int("k", 12, "test-suite size per target")
 	targets := fs.Int("targets", 0, "extra healthy-rule targets beside the mutated rule (slow at full scale: wrong plans can be cross products)")
@@ -347,7 +365,7 @@ func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int) error {
 	fs.Parse(args)
 	cfg := qtrtest.MutationConfig{
 		K: *k, Targets: *targets, ExtraOps: *extra, Seed: seed,
-		MaxTrials: *trials, Workers: workers,
+		MaxTrials: *trials, Workers: workers, Cache: rc,
 	}
 	if *kinds != "" {
 		var ks []qtrtest.MutantKind
@@ -373,7 +391,7 @@ func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int) error {
 // registry as a self-test probe, optionally extended with the EET rule pack
 // — and exits nonzero on findings. With -verify it additionally runs the
 // small-scope semantic verifier over the same live registry as a deep pass.
-func cmdCheck(db *qtrtest.DB, args []string, workers int) error {
+func cmdCheck(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCache) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	matrix := fs.Bool("matrix", false, "also print the composability feeds relation")
@@ -432,6 +450,7 @@ func cmdCheck(db *qtrtest.DB, args []string, workers int) error {
 	}
 	if *deep {
 		vcfg.Workers = workers
+		vcfg.Cache = rc
 		vrep, err := qtrtest.VerifyRules(vcfg)
 		if err != nil {
 			return err
@@ -446,7 +465,7 @@ func cmdCheck(db *qtrtest.DB, args []string, workers int) error {
 	return lintErr
 }
 
-func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int) error {
+func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtest.ResultCache) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	n := fs.Int("n", 10, "number of exploration rules")
 	k := fs.Int("k", 5, "test-suite size per target")
@@ -495,6 +514,7 @@ func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int) error {
 	fmt.Printf("total estimated execution cost: %.0f (optimizer calls: %d)\n",
 		sol.TotalCost, sol.OptimizerCalls)
 	if *validate {
+		g.SetCache(rc)
 		rep, err := g.Run(sol, db.Optimizer, db.Catalog)
 		if err != nil {
 			return err

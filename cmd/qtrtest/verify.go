@@ -47,7 +47,7 @@ func eetRulePack() []qtrtest.Rule {
 // order/limit sensitivity. The report is byte-identical for every -workers
 // value, so a finding's repro line replays anywhere; the command exits
 // nonzero when any rule is flagged, making it a CI tripwire like fuzz.
-func cmdVerify(db *qtrtest.DB, args []string, workers int) error {
+func cmdVerify(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCache) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	ruleIDs := fs.String("rules", "", "comma-separated rule ids to verify (default: all)")
 	mutant := fs.String("mutant", "", "verify a mutant registry instead (fault-injection self-test)")
@@ -60,6 +60,7 @@ func cmdVerify(db *qtrtest.DB, args []string, workers int) error {
 		return err
 	}
 	cfg.Workers = workers
+	cfg.Cache = rc
 	if cfg.Rules, err = parseIDs(*ruleIDs); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qtrtest/internal/datum"
 )
@@ -182,16 +183,38 @@ func (t *Table) ComputeStats() {
 // Catalog is a set of tables forming the test database.
 type Catalog struct {
 	tables map[string]*Table
+
+	// id is a process-unique identity and version a mutation counter; the
+	// pair lets result caches key executions by "which database" without
+	// hashing table contents. Two Catalog values never share an id, so a
+	// (id, version) pair seen twice is guaranteed to denote the same tables
+	// holding the same rows — provided callers follow the house rule that
+	// table rows are final before the first execution (the same contract
+	// ColumnData and JoinIndex already rely on).
+	id      uint64
+	version uint64
 }
+
+// catalogIDs hands out process-unique catalog identities.
+var catalogIDs atomic.Uint64
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), id: catalogIDs.Add(1)}
 }
 
 // Add registers a table; it replaces any existing table of the same name.
 func (c *Catalog) Add(t *Table) {
 	c.tables[t.Name] = t
+	c.version++
+}
+
+// Identity returns the catalog's process-unique identity and its mutation
+// version. Result caches use the pair as the database component of their
+// keys; see the type comment for the immutability contract that makes the
+// pair sufficient.
+func (c *Catalog) Identity() (id, version uint64) {
+	return c.id, c.version
 }
 
 // Table returns the named table or an error.

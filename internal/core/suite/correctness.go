@@ -10,6 +10,7 @@ import (
 	"qtrtest/internal/opt"
 	"qtrtest/internal/par"
 	"qtrtest/internal/physical"
+	"qtrtest/internal/rescache"
 )
 
 // Mismatch records one detected correctness bug: a query whose results
@@ -71,7 +72,15 @@ func ExecBase(plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork in
 
 // ExecBaseEngine is ExecBase on an explicit execution engine.
 func ExecBaseEngine(eng exec.Engine, plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) (*BaseExec, error) {
-	rows, err := exec.RunEngine(eng, plan, cat, maxRows, maxWork)
+	return ExecBaseCached(nil, eng, plan, cat, maxRows, maxWork)
+}
+
+// ExecBaseCached is ExecBaseEngine through a result cache; a nil cache
+// executes directly. Cached rows are shared read-only between every BaseExec
+// holding them, which the oracle permits because CompareResults never
+// mutates its inputs.
+func ExecBaseCached(rc *rescache.Cache, eng exec.Engine, plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) (*BaseExec, error) {
+	rows, err := rc.Run(eng, plan, cat, maxRows, maxWork)
 	if err != nil {
 		return nil, err
 	}
@@ -102,10 +111,17 @@ func CompareEdge(cat *catalog.Catalog, base *BaseExec, plan *physical.Expr, maxR
 
 // CompareEdgeEngine is CompareEdge on an explicit execution engine.
 func CompareEdgeEngine(eng exec.Engine, cat *catalog.Catalog, base *BaseExec, plan *physical.Expr, maxRows int, maxWork int64) (EdgeOutcome, error) {
+	return CompareEdgeCached(nil, eng, cat, base, plan, maxRows, maxWork)
+}
+
+// CompareEdgeCached is CompareEdgeEngine through a result cache; a nil cache
+// executes directly. The identical-plan skip (paper footnote 1) stays ahead
+// of the cache — a skip needs no lookup at all.
+func CompareEdgeCached(rc *rescache.Cache, eng exec.Engine, cat *catalog.Catalog, base *BaseExec, plan *physical.Expr, maxRows int, maxWork int64) (EdgeOutcome, error) {
 	if plan.Hash() == base.Hash {
 		return EdgeOutcome{Skipped: true}, nil
 	}
-	rows, err := exec.RunEngine(eng, plan, cat, maxRows, maxWork)
+	rows, err := rc.Run(eng, plan, cat, maxRows, maxWork)
 	if errors.Is(err, exec.ErrRowLimit) {
 		return EdgeOutcome{Capped: true}, nil
 	}
@@ -159,7 +175,7 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 			}
 			plan = res.Plan
 		}
-		base, err := ExecBaseEngine(g.engine, plan, cat, 0, 0)
+		base, err := ExecBaseCached(g.cache, g.engine, plan, cat, 0, 0)
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d: %w", qi, err)
 		}
@@ -189,7 +205,7 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		if plan = g.EdgePlan(a.Query, t); plan == nil {
 			return fmt.Errorf("suite: no plan for query %d with %s disabled", a.Query, t)
 		}
-		out, err := CompareEdgeEngine(g.engine, cat, base, plan, 0, 0)
+		out, err := CompareEdgeCached(g.cache, g.engine, cat, base, plan, 0, 0)
 		if err != nil {
 			return fmt.Errorf("suite: executing query %d with %s disabled: %w", a.Query, t, err)
 		}

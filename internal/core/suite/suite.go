@@ -21,6 +21,7 @@ import (
 	"qtrtest/internal/opt"
 	"qtrtest/internal/par"
 	"qtrtest/internal/physical"
+	"qtrtest/internal/rescache"
 	"qtrtest/internal/rules"
 )
 
@@ -113,6 +114,9 @@ type Graph struct {
 	// engine selects the execution engine Run uses; the zero value is the
 	// batch engine.
 	engine exec.Engine
+	// cache, when non-nil, memoizes plan executions across Run calls (and
+	// across graphs sharing the same cache); nil executes directly.
+	cache *rescache.Cache
 }
 
 // Workers returns the graph's worker-pool bound (<= 0 means GOMAXPROCS).
@@ -126,6 +130,11 @@ func (g *Graph) SetWorkers(n int) { g.workers = n }
 // byte-identical across engines; the differential golden tests hold the suite
 // to that.
 func (g *Graph) SetEngine(e exec.Engine) { g.engine = e }
+
+// SetCache routes Run's plan executions through a shared result cache.
+// Reports are byte-identical with and without one; the cache differential
+// tests hold the suite to that.
+func (g *Graph) SetCache(c *rescache.Cache) { g.cache = c }
 
 // edgeKey identifies one edge (q, ¬R) of the bipartite graph. Targets are
 // singleton rules or rule pairs, so two rule IDs suffice (r2 is zero for

@@ -49,6 +49,13 @@ var denseIota = func() []int {
 type Batch struct {
 	Cols []datum.Vec
 	Idx  []int
+	// Rows, when non-nil, is a ready-made row view of the batch: Rows[k] is
+	// row k (the row Idx[k] selects), backed by stable storage that outlives
+	// the batch. Producers that already hold materialized rows — scans window
+	// the catalog's row slice — set it so consumers that need rows can skip
+	// gathering. Operators that reshape the batch (filter, join, aggregate)
+	// drop it; they construct fresh Batch values, so staleness cannot leak.
+	Rows []datum.Row
 }
 
 // Len returns the number of selected rows in the batch.
@@ -155,8 +162,13 @@ func runBatch(it BatchIterator, maxRows int) (out []datum.Row, err error) {
 
 // gatherRows materializes a batch into rows backed by one shared slab
 // allocation, written column-at-a-time: the per-row make() this replaces
-// dominated the profile of scan-heavy plans.
+// dominated the profile of scan-heavy plans. Batches that carry a row view
+// skip even the slab — a bare scan returns the catalog's own rows, the same
+// zero-copy contract the row engine's scanIter has always had.
 func gatherRows(b *Batch) []datum.Row {
+	if b.Rows != nil {
+		return b.Rows
+	}
 	width := len(b.Cols)
 	n := b.Len()
 	slab := make([]datum.Datum, n*width)
@@ -356,7 +368,7 @@ type batchFromRows struct {
 
 func (b *batchFromRows) Open() error {
 	if b.vecs == nil {
-		b.vecs = make([]datum.Vec, b.width)
+		b.vecs = getVecs(b.width)
 	}
 	return b.child.Open()
 }
@@ -386,7 +398,11 @@ func (b *batchFromRows) Next() (*Batch, error) {
 	return &b.out, nil
 }
 
-func (b *batchFromRows) Close() error { return b.child.Close() }
+func (b *batchFromRows) Close() error {
+	putVecs(b.vecs)
+	b.vecs = nil
+	return b.child.Close()
+}
 
 // ---- scan -------------------------------------------------------------------
 
@@ -415,7 +431,11 @@ func (s *batchScan) Next() (*Batch, error) {
 	if end > len(s.idx) {
 		end = len(s.idx)
 	}
-	s.out = Batch{Cols: s.cols, Idx: s.idx[s.pos:end]}
+	// SeqIdx is the identity selection, so the same window of the catalog's
+	// row slice is this batch's row view: consumers that materialize rows
+	// (runBatch, row adapters) take it as-is instead of slab-copying what the
+	// catalog already stores.
+	s.out = Batch{Cols: s.cols, Idx: s.idx[s.pos:end], Rows: s.table.Rows[s.pos:end]}
 	s.pos = end
 	return &s.out, nil
 }
@@ -434,7 +454,12 @@ type batchFilter struct {
 	out   Batch
 }
 
-func (f *batchFilter) Open() error { return f.child.Open() }
+func (f *batchFilter) Open() error {
+	if f.sel == nil {
+		f.sel = getSel()
+	}
+	return f.child.Open()
+}
 
 func (f *batchFilter) Next() (*Batch, error) {
 	for {
@@ -458,7 +483,11 @@ func (f *batchFilter) Next() (*Batch, error) {
 	}
 }
 
-func (f *batchFilter) Close() error { return f.child.Close() }
+func (f *batchFilter) Close() error {
+	putSel(f.sel)
+	f.sel = nil
+	return f.child.Close()
+}
 
 // ---- project ----------------------------------------------------------------
 
@@ -474,7 +503,7 @@ type batchProject struct {
 
 func (p *batchProject) Open() error {
 	if p.vecs == nil {
-		p.vecs = make([]datum.Vec, len(p.items))
+		p.vecs = getVecs(len(p.items))
 	}
 	return p.child.Open()
 }
@@ -496,4 +525,8 @@ func (p *batchProject) Next() (*Batch, error) {
 	return &p.out, nil
 }
 
-func (p *batchProject) Close() error { return p.child.Close() }
+func (p *batchProject) Close() error {
+	putVecs(p.vecs)
+	p.vecs = nil
+	return p.child.Close()
+}

@@ -43,7 +43,7 @@ func (a *batchAgg) Open() error {
 		slots[i] = s
 	}
 	if a.argVecs == nil {
-		a.argVecs = make([]datum.Vec, len(a.aggs))
+		a.argVecs = getVecs(len(a.aggs))
 	}
 	groups := make(map[string]*aggGroup)
 	var order []*aggGroup
@@ -107,7 +107,7 @@ func (a *batchAgg) Open() error {
 		sort.Slice(order, func(i, j int) bool { return order[i].key < order[j].key })
 	}
 	width := len(a.groupCols) + len(a.aggs)
-	a.vecs = make([]datum.Vec, width)
+	a.vecs = getVecs(width)
 	for _, g := range order {
 		for i := range g.rep {
 			a.vecs[i].Append(g.rep[i])
@@ -116,9 +116,15 @@ func (a *batchAgg) Open() error {
 			a.vecs[len(a.groupCols)+i].Append(g.states[i].result(ag.Op))
 		}
 	}
-	a.idx = make([]int, len(order))
-	for i := range a.idx {
-		a.idx[i] = i
+	// The result selection is the identity, so the shared iota covers all but
+	// pathological group counts; putSel's alias guard keeps it out of the pool.
+	if n := len(order); n <= len(denseIota) {
+		a.idx = denseIota[:n]
+	} else {
+		a.idx = make([]int, n)
+		for i := range a.idx {
+			a.idx[i] = i
+		}
 	}
 	a.pos = 0
 	return nil
@@ -137,4 +143,11 @@ func (a *batchAgg) Next() (*Batch, error) {
 	return &a.out, nil
 }
 
-func (a *batchAgg) Close() error { return a.child.Close() }
+func (a *batchAgg) Close() error {
+	putVecs(a.argVecs)
+	putVecs(a.vecs)
+	a.argVecs, a.vecs = nil, nil
+	putSel(a.idx)
+	a.idx = nil
+	return a.child.Close()
+}

@@ -27,8 +27,11 @@ type batchHashJoin struct {
 	equi       bool           // On is exactly the equi-key conjunction
 	ve         scalar.VecEval // env over the combined (left ++ right) layout
 
-	// build side
+	// build side. ownRight records that rightVecs is pool-backed scratch this
+	// join filled itself; the bare-scan fast path instead aliases the
+	// catalog's cached column vectors, which must never be recycled.
 	rightVecs []datum.Vec
+	ownRight  bool
 	lookup    map[string]int32
 	groups    [][]int32
 
@@ -132,8 +135,14 @@ func (h *batchHashJoin) Open() error {
 		return err
 	}
 	if h.candVecs == nil {
-		h.candVecs = make([]datum.Vec, h.leftWidth+h.rightWidth)
-		h.outVecs = make([]datum.Vec, h.leftWidth+h.rightWidth)
+		h.candVecs = getVecs(h.leftWidth + h.rightWidth)
+		h.outVecs = getVecs(h.leftWidth + h.rightWidth)
+	}
+	h.candL, h.candR, h.outIdx = getSel(), getSel(), getSel()
+	if !h.equi {
+		// Equi-only joins alias denseIota for sel and never write through it;
+		// only the EvalPred path wants a reusable buffer.
+		h.sel = getSel()
 	}
 	h.lb, h.li, h.inRow = nil, 0, false
 	return h.left.Open()
@@ -164,7 +173,7 @@ func (h *batchHashJoin) buildSide() error {
 		return err
 	}
 	if bs, bb := scanOf(h.right); bs != nil {
-		h.rightVecs = bs.cols
+		h.rightVecs, h.ownRight = bs.cols, false
 		idx := bs.table.JoinIndex(h.rightSlots)
 		h.lookup, h.groups = idx.Lookup, idx.Groups
 		if bb != nil {
@@ -178,9 +187,10 @@ func (h *batchHashJoin) buildSide() error {
 		bs.pos = len(bs.idx) // the scan is consumed
 		return nil
 	}
-	h.rightVecs = make([]datum.Vec, h.rightWidth)
+	h.rightVecs, h.ownRight = getVecs(h.rightWidth), true
 	h.lookup = make(map[string]int32)
 	h.groups = nil // never reuse: the fast path above aliases a shared index
+	h.keep = getSel()
 	stored := int32(0)
 	for {
 		b, err := h.right.Next()
@@ -229,7 +239,7 @@ func (h *batchHashJoin) Next() (*Batch, error) {
 			}
 			h.lb, h.li, h.inRow = lb, 0, false
 			if cap(h.rowMatched) < lb.Len() {
-				h.rowMatched = make([]bool, lb.Len())
+				h.rowMatched = getBools(lb.Len())
 			}
 			h.rowMatched = h.rowMatched[:lb.Len()]
 			for k := range h.rowMatched {
@@ -425,6 +435,20 @@ func (h *batchHashJoin) emitChunk() *Batch {
 }
 
 func (h *batchHashJoin) Close() error {
+	putVecs(h.candVecs)
+	putVecs(h.outVecs)
+	if h.ownRight {
+		putVecs(h.rightVecs)
+	}
+	h.candVecs, h.outVecs, h.rightVecs, h.ownRight = nil, nil, nil, false
+	putSel(h.keep)
+	putSel(h.candL)
+	putSel(h.candR)
+	putSel(h.outIdx)
+	putSel(h.sel) // drops the denseIota alias an equi join leaves here
+	h.keep, h.candL, h.candR, h.outIdx, h.sel = nil, nil, nil, nil, nil
+	putBools(h.rowMatched)
+	h.rowMatched = nil
 	err1 := h.left.Close()
 	err2 := h.right.Close()
 	if err1 != nil {

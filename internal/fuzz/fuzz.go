@@ -30,6 +30,7 @@ import (
 	"qtrtest/internal/opt"
 	"qtrtest/internal/par"
 	"qtrtest/internal/physical"
+	"qtrtest/internal/rescache"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/sqlgen"
 )
@@ -95,6 +96,13 @@ type Config struct {
 	// byte-identical across engines; the knob exists so the differential
 	// golden tests can pin that.
 	Engine exec.Engine
+	// Cache, when non-nil, memoizes plan executions across the whole
+	// campaign — oracles and shrinker alike. Reports are byte-identical with
+	// and without it (the cache differential tests pin that); it only
+	// collapses the repeated executions fuzzing is full of: Plan(q,¬R)
+	// equal to some earlier alternative, shrink candidates replayed after
+	// each accepted reduction, rewrites sharing subplans.
+	Cache *rescache.Cache
 }
 
 func (c *Config) setDefaults() {
@@ -173,6 +181,19 @@ type campaign struct {
 	opt      *opt.Optimizer
 	gen      *qgen.Generator
 	rewrites []Rewrite
+	cache    *rescache.Cache
+}
+
+// execBase runs a base plan under the campaign's caps, through the cache
+// when one is configured.
+func (c *campaign) execBase(plan *physical.Expr) (*suite.BaseExec, error) {
+	return suite.ExecBaseCached(c.cache, c.cfg.Engine, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+}
+
+// compareEdge runs an alternative plan under the campaign's caps and applies
+// the order-aware oracle, through the cache when one is configured.
+func (c *campaign) compareEdge(base *suite.BaseExec, plan *physical.Expr) (suite.EdgeOutcome, error) {
+	return suite.CompareEdgeCached(c.cache, c.cfg.Engine, c.cfg.Catalog, base, plan, c.cfg.MaxRows, c.cfg.MaxWork)
 }
 
 // finding is the internal form of a Finding, carrying the bound tree and
@@ -203,7 +224,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &campaign{cfg: cfg, opt: o, gen: gen, rewrites: rewritesFor(cfg)}
+	c := &campaign{cfg: cfg, opt: o, gen: gen, rewrites: rewritesFor(cfg), cache: cfg.Cache}
 
 	rep := &Report{
 		Schema: ReportSchema, DB: cfg.DB, Mutant: cfg.Mutant,
@@ -334,7 +355,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		}
 	}
 
-	base, err := suite.ExecBaseEngine(c.cfg.Engine, res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	base, err := c.execBase(res.Plan)
 	if errors.Is(err, exec.ErrRowLimit) {
 		r.skip = "rowcap"
 		return r
@@ -357,7 +378,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		if err != nil || altRes.Plan.Cost > c.cfg.MaxCost {
 			continue
 		}
-		out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
+		out, err := c.compareEdge(base, altRes.Plan)
 		if err != nil {
 			f := mk(KindExecError)
 			f.pub.Rule = int(id)
@@ -403,7 +424,7 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		if altPlan.Cost > c.cfg.MaxCost {
 			continue
 		}
-		out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
+		out, err := c.compareEdge(base, altPlan)
 		if err != nil {
 			f := mk(KindExecError)
 			f.pub.Rewrite = rw.Name

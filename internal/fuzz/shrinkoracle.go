@@ -4,32 +4,74 @@ import (
 	"errors"
 
 	"qtrtest/internal/bind"
-	"qtrtest/internal/core/suite"
 	"qtrtest/internal/exec"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/physical"
+	"qtrtest/internal/rescache"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/sqlgen"
 )
+
+// shrinkBudget charges the shrinker's oracle budget by execution identity: a
+// plan execution costs one check the first time its cache key appears during
+// this finding's shrink and is free on every recurrence — exactly the
+// executions that would miss a result cache primed by this shrink alone.
+//
+// The seen-set is deliberately local to the finding rather than asking the
+// shared campaign cache "would this hit?": cache contents depend on eviction
+// order and on what other workers executed first, so consulting them would
+// make shrinking scheduling-dependent. The local set makes the charge
+// sequence a pure function of the finding — byte-identical reports with the
+// cache on or off, at any worker count — while still modeling what the
+// shrinker actually costs when a cache is present, since replayed candidates
+// are hits there too.
+type shrinkBudget struct {
+	remaining int
+	seen      map[rescache.Key]struct{}
+}
+
+func newShrinkBudget(n int) *shrinkBudget {
+	return &shrinkBudget{remaining: n, seen: make(map[rescache.Key]struct{})}
+}
+
+// charge deducts one check if this execution key is new to the finding.
+func (b *shrinkBudget) charge(eng exec.Engine, plan *physical.Expr, c *campaign) {
+	k := rescache.KeyFor(eng, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	if _, ok := b.seen[k]; ok {
+		return
+	}
+	b.seen[k] = struct{}{}
+	b.remaining--
+}
+
+func (b *shrinkBudget) spent() bool { return b.remaining <= 0 }
 
 // shrinkFinding minimizes the finding's query tree while the same oracle
 // keeps failing, and records the shrunk SQL on the public finding. Each kind
 // gets its own keep predicate; rewrite-error findings are left unshrunk — a
 // broken rewrite wants its full originating query as context.
+//
+// The oracle budget (cfg.MaxShrinkChecks) counts distinct plan executions,
+// not keep evaluations: candidates whose plans were all executed earlier in
+// the shrink re-check for free, so the budget buys strictly more reductions
+// than it used to. Shrink's own check bound is effectively disabled — budget
+// exhaustion rejects every candidate, which terminates the reduction loop.
 func (c *campaign) shrinkFinding(f *finding) {
+	budget := newShrinkBudget(c.cfg.MaxShrinkChecks)
 	var keep func(*logical.Expr) bool
 	switch f.pub.Kind {
 	case KindDifferential:
 		keep = func(t *logical.Expr) bool {
-			return c.diffTrips(t, f.md, rules.ID(f.pub.Rule))
+			return !budget.spent() && c.diffTrips(t, f.md, rules.ID(f.pub.Rule), budget)
 		}
 	case KindMetamorphic:
 		keep = func(t *logical.Expr) bool {
-			return c.metaTrips(t, f.md, f.pub.Rewrite, f.pub.Seed)
+			return !budget.spent() && c.metaTrips(t, f.md, f.pub.Rewrite, f.pub.Seed, budget)
 		}
 	case KindExecError:
 		keep = func(t *logical.Expr) bool {
-			return c.execErrs(t, f.md, rules.ID(f.pub.Rule))
+			return !budget.spent() && c.execErrs(t, f.md, rules.ID(f.pub.Rule), budget)
 		}
 	default:
 		return
@@ -40,7 +82,7 @@ func (c *campaign) shrinkFinding(f *finding) {
 		// it unshrunk rather than attach a wrong reproducer.
 		return
 	}
-	shrunk := Shrink(f.tree, keep, c.cfg.MaxShrinkChecks)
+	shrunk := Shrink(f.tree, keep, 1<<30)
 	sqlText, err := sqlgen.Generate(shrunk, f.md)
 	if err != nil {
 		return
@@ -61,7 +103,7 @@ func (c *campaign) rebind(t *logical.Expr, md *logical.Metadata) (*bind.Bound, e
 
 // diffTrips reports whether the differential oracle still flags the query
 // with rule id disabled.
-func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID) bool {
+func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID, budget *shrinkBudget) bool {
 	bound, err := c.rebind(t, md)
 	if err != nil {
 		return false
@@ -70,7 +112,8 @@ func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID)
 	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
 		return false
 	}
-	base, err := suite.ExecBaseEngine(c.cfg.Engine, res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	budget.charge(c.cfg.Engine, res.Plan, c)
+	base, err := c.execBase(res.Plan)
 	if err != nil {
 		return false
 	}
@@ -78,7 +121,10 @@ func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID)
 	if err != nil || altRes.Plan.Cost > c.cfg.MaxCost {
 		return false
 	}
-	out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altRes.Plan, c.cfg.MaxRows, c.cfg.MaxWork)
+	out, err := c.compareEdge(base, altRes.Plan)
+	if err == nil && !out.Skipped {
+		budget.charge(c.cfg.Engine, altRes.Plan, c)
+	}
 	return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
 }
 
@@ -86,7 +132,7 @@ func (c *campaign) diffTrips(t *logical.Expr, md *logical.Metadata, id rules.ID)
 // the query and still produces mismatching results. seed is the finding's
 // derived seed, so seed-dependent rewrites (EET site selection) replay the
 // same choice on each shrink candidate.
-func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string, seed int64) bool {
+func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string, seed int64, budget *shrinkBudget) bool {
 	bound, err := c.rebind(t, md)
 	if err != nil {
 		return false
@@ -95,7 +141,8 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string,
 	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
 		return false
 	}
-	base, err := suite.ExecBaseEngine(c.cfg.Engine, res.Plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	budget.charge(c.cfg.Engine, res.Plan, c)
+	base, err := c.execBase(res.Plan)
 	if err != nil {
 		return false
 	}
@@ -111,7 +158,10 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string,
 		if err != nil || altPlan.Cost > c.cfg.MaxCost {
 			return false
 		}
-		out, err := suite.CompareEdgeEngine(c.cfg.Engine, c.cfg.Catalog, base, altPlan, c.cfg.MaxRows, c.cfg.MaxWork)
+		out, err := c.compareEdge(base, altPlan)
+		if err == nil && !out.Skipped {
+			budget.charge(c.cfg.Engine, altPlan, c)
+		}
 		return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
 	}
 	return false
@@ -119,7 +169,7 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string,
 
 // execErrs reports whether the pipeline still fails with an execution error
 // (not the row cap): on the base plan when id is 0, else on Plan(q,¬id).
-func (c *campaign) execErrs(t *logical.Expr, md *logical.Metadata, id rules.ID) bool {
+func (c *campaign) execErrs(t *logical.Expr, md *logical.Metadata, id rules.ID, budget *shrinkBudget) bool {
 	bound, err := c.rebind(t, md)
 	if err != nil {
 		return false
@@ -136,6 +186,7 @@ func (c *campaign) execErrs(t *logical.Expr, md *logical.Metadata, id rules.ID) 
 		}
 		plan = altRes.Plan
 	}
-	_, err = exec.RunEngine(c.cfg.Engine, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	budget.charge(c.cfg.Engine, plan, c)
+	_, err = c.cache.Run(c.cfg.Engine, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
 	return err != nil && !errors.Is(err, exec.ErrRowLimit)
 }

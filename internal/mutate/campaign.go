@@ -8,6 +8,7 @@ import (
 	"qtrtest/internal/catalog"
 	"qtrtest/internal/core/suite"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/rescache"
 	"qtrtest/internal/rules"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	Workers int
 	// Mutants overrides the shipped catalog (nil means Mutants()).
 	Mutants []Mutant
+	// Cache, when non-nil, memoizes plan executions across the whole
+	// campaign. One cache serves every mutant and every algorithm: a plan's
+	// result depends only on (plan, catalog, caps, engine), not on which
+	// registry produced it, and the three algorithms' suites overlap heavily
+	// in the plans they execute. Scores are byte-identical with and without
+	// it.
+	Cache *rescache.Cache
 }
 
 func (c *Config) setDefaults() {
@@ -205,6 +213,7 @@ func runOne(cat *catalog.Catalog, m Mutant, cfg Config) (*MutantResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.SetCache(cfg.Cache)
 	res := &MutantResult{Mutant: m, Queries: len(g.Queries)}
 	algos := []struct {
 		name string

@@ -38,6 +38,13 @@ func Resolve(workers int) int {
 // its output into slot i of a preallocated slice (never append, never send
 // on a channel) for the overall result to be deterministic. With one worker
 // the calling goroutine runs every item itself in index order.
+//
+// A panic inside fn is re-raised on the calling goroutine rather than
+// crashing the process from a worker (an unrecovered goroutine panic cannot
+// be caught by the caller). Workers stop claiming new items once a panic is
+// observed; in-flight items finish, and the panic value of the lowest
+// observed panicking index is re-raised — with one worker that is exactly
+// the first panic a sequential loop would have hit.
 func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -52,22 +59,47 @@ func ForEach(workers, n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		stopped atomic.Bool
+		mu      sync.Mutex
+		panics  bool
+		pIdx    int
+		pVal    any
+	)
+	record := func(i int, v any) {
+		mu.Lock()
+		if !panics || i < pIdx {
+			panics, pIdx, pVal = true, i, v
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stopped.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							record(i, v)
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panics {
+		panic(pVal)
+	}
 }
 
 // ForEachErr is ForEach for fallible work. Every item runs to completion

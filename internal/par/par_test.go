@@ -69,6 +69,70 @@ func TestForEachErrReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
+func TestForEachSingleWorkerRunsInIndexOrder(t *testing.T) {
+	const n = 200
+	var order []int
+	ForEach(1, n, func(i int) { order = append(order, i) })
+	if len(order) != n {
+		t.Fatalf("ran %d items, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("position %d ran index %d; one worker must run in index order", i, got)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic did not propagate to the caller", workers)
+				}
+				if s, ok := v.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want the original panic value", workers, v)
+				}
+			}()
+			ForEach(workers, 64, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachSequentialPanicIsFirstIndex(t *testing.T) {
+	// With one worker the re-raised panic must be the first panicking index,
+	// exactly as an inline loop would fail.
+	defer func() {
+		if v := recover(); v != "panic-3" {
+			t.Fatalf("recovered %v, want panic-3", v)
+		}
+	}()
+	ForEach(1, 100, func(i int) {
+		if i%10 == 3 {
+			panic(fmt.Sprintf("panic-%d", i))
+		}
+	})
+}
+
+func TestForEachErrPanicPropagates(t *testing.T) {
+	defer func() {
+		if v := recover(); v == nil {
+			t.Fatal("panic inside ForEachErr fn did not propagate")
+		}
+	}()
+	_ = ForEachErr(4, 32, func(i int) error {
+		if i == 5 {
+			panic("err-path boom")
+		}
+		return nil
+	})
+}
+
 func TestForEachErrRunsAllItemsDespiteFailures(t *testing.T) {
 	var ran atomic.Int32
 	_ = ForEachErr(4, 64, func(i int) error {

@@ -5,6 +5,8 @@ package physical
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"unsafe"
 
 	"qtrtest/internal/logical"
 	"qtrtest/internal/scalar"
@@ -101,7 +103,29 @@ type Expr struct {
 	// Annotations filled by the optimizer.
 	Rows float64 // estimated output cardinality
 	Cost float64 // cumulative estimated cost
+
+	// hash memoizes Hash() as an atomically published *string. Plans are
+	// immutable once the optimizer hands them out (mutation-injection
+	// rewrites physical nodes only inside implementation rules, before
+	// anything can observe them), so the fingerprint never needs
+	// invalidation; a racing double computation stores the same string
+	// either way. A raw unsafe.Pointer rather than atomic.Pointer[string]
+	// because the latter's noCopy would forbid the implementor's by-value
+	// candidate construction (rules.one copies a fresh Expr into its
+	// co-allocation buffer) — those copies happen strictly before the node
+	// is published, when the field is still nil.
+	hash unsafe.Pointer
 }
+
+// cachedHash returns the memoized fingerprint, or "" before first compute.
+func (e *Expr) cachedHash() string {
+	if p := (*string)(atomic.LoadPointer(&e.hash)); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (e *Expr) storeHash(h string) { atomic.StorePointer(&e.hash, unsafe.Pointer(&h)) }
 
 // OutputCols returns the ordered column layout the operator produces; the
 // execution engine maps ColumnIDs to row slots with it.
@@ -145,45 +169,50 @@ func (e *Expr) OutputCols() []scalar.ColumnID {
 // annotations). Identical plans produce identical hashes; the correctness
 // runner uses this to skip executing Plan(q,¬R) when it equals Plan(q)
 // (paper footnote 1).
+//
+// Hash is memoized per node: campaigns fingerprint the same plan at every
+// comparison site (skip checks, result-cache keys, report dedup), and since
+// subtrees memoize too, plans that share subplans share the work.
 func (e *Expr) Hash() string {
-	var sb strings.Builder
-	var walk func(x *Expr)
-	walk = func(x *Expr) {
-		fmt.Fprintf(&sb, "%d/%d|", x.Op, x.JoinType)
-		switch x.Op {
-		case OpScan:
-			fmt.Fprintf(&sb, "%s%v", x.Table, x.Cols)
-		case OpFilter:
-			sb.WriteString(x.Filter.Hash())
-		case OpHashJoin, OpNLJoin, OpMergeJoin:
-			if x.On != nil {
-				sb.WriteString(x.On.Hash())
-			}
-			fmt.Fprintf(&sb, "%v%v", x.EquiLeft, x.EquiRight)
-		case OpProject:
-			for _, p := range x.Projs {
-				fmt.Fprintf(&sb, "%d=%s;", p.Out, p.E.Hash())
-			}
-		case OpHashAgg, OpSortAgg:
-			fmt.Fprintf(&sb, "%v|", x.GroupCols)
-			for _, a := range x.Aggs {
-				sb.WriteString(a.Hash())
-			}
-		case OpConcat:
-			fmt.Fprintf(&sb, "%v%v", x.OutCols, x.InputCols)
-		case OpLimit:
-			fmt.Fprintf(&sb, "%d", x.N)
-		case OpSort:
-			fmt.Fprintf(&sb, "%v", x.Keys)
-		}
-		sb.WriteString("(")
-		for _, c := range x.Children {
-			walk(c)
-		}
-		sb.WriteString(")")
+	if h := e.cachedHash(); h != "" {
+		return h
 	}
-	walk(e)
-	return sb.String()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d|", e.Op, e.JoinType)
+	switch e.Op {
+	case OpScan:
+		fmt.Fprintf(&sb, "%s%v", e.Table, e.Cols)
+	case OpFilter:
+		sb.WriteString(e.Filter.Hash())
+	case OpHashJoin, OpNLJoin, OpMergeJoin:
+		if e.On != nil {
+			sb.WriteString(e.On.Hash())
+		}
+		fmt.Fprintf(&sb, "%v%v", e.EquiLeft, e.EquiRight)
+	case OpProject:
+		for _, p := range e.Projs {
+			fmt.Fprintf(&sb, "%d=%s;", p.Out, p.E.Hash())
+		}
+	case OpHashAgg, OpSortAgg:
+		fmt.Fprintf(&sb, "%v|", e.GroupCols)
+		for _, a := range e.Aggs {
+			sb.WriteString(a.Hash())
+		}
+	case OpConcat:
+		fmt.Fprintf(&sb, "%v%v", e.OutCols, e.InputCols)
+	case OpLimit:
+		fmt.Fprintf(&sb, "%d", e.N)
+	case OpSort:
+		fmt.Fprintf(&sb, "%v", e.Keys)
+	}
+	sb.WriteString("(")
+	for _, c := range e.Children {
+		sb.WriteString(c.Hash())
+	}
+	sb.WriteString(")")
+	h := sb.String()
+	e.storeHash(h)
+	return h
 }
 
 // String renders an indented plan with cost annotations, in the spirit of

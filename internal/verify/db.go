@@ -2,6 +2,7 @@ package verify
 
 import (
 	"strings"
+	"sync"
 
 	"qtrtest/internal/catalog"
 	"qtrtest/internal/datum"
@@ -19,8 +20,9 @@ var plainTables = []string{"s", "t", "u"}
 
 // schemaCatalog builds the fixed verification schema with no rows. It is the
 // template the instantiator allocates column metadata against; per-database
-// catalogs are built fresh by buildCatalog so the executor's per-table caches
-// never leak contents across databases.
+// catalogs come from buildCatalog, memoized by content signature so the
+// executor's per-table caches never leak contents across distinct databases
+// while identical databases share one catalog.
 func schemaCatalog() *catalog.Catalog {
 	cat := catalog.New()
 	for _, name := range plainTables {
@@ -155,15 +157,30 @@ func enumerateDatabases(tables []string) []database {
 	return dbs
 }
 
-// buildCatalog materializes one database as a fresh catalog. Every table
-// object is newly allocated: the executor caches column vectors and join
-// indexes on the table, so sharing table structs across databases would leak
-// one database's contents into another's execution.
+// catalogCache shares one materialized catalog per database signature. The
+// label fully determines the catalog's contents (tables in order, rows per
+// table), so all sweeps over an identically-labeled database can share one
+// catalog — and with it the executor's per-table caches (column vectors,
+// join indexes) and one result-cache identity, which is what turns the
+// near-total plan overlap between rules into cache hits. Sharing by content
+// signature preserves the old fresh-per-database isolation guarantee:
+// distinct contents still get distinct table objects.
+var catalogCache sync.Map // database label -> *catalog.Catalog
+
+// buildCatalog materializes one database as a catalog, memoized by content
+// signature. Concurrent rule checks may race to build the same signature;
+// LoadOrStore picks one winner, and either candidate is equivalent because
+// the label determines every row.
 func buildCatalog(d database) *catalog.Catalog {
+	key := d.label()
+	if v, ok := catalogCache.Load(key); ok {
+		return v.(*catalog.Catalog)
+	}
 	cat := schemaCatalog()
 	for i, name := range d.tables {
 		t := cat.MustTable(name)
 		t.Rows = append([]datum.Row(nil), d.contents[i].rows...)
 	}
-	return cat
+	v, _ := catalogCache.LoadOrStore(key, cat)
+	return v.(*catalog.Catalog)
 }

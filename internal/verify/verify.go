@@ -34,6 +34,7 @@ import (
 	"qtrtest/internal/memo"
 	"qtrtest/internal/par"
 	"qtrtest/internal/physical"
+	"qtrtest/internal/rescache"
 	"qtrtest/internal/rules"
 )
 
@@ -63,6 +64,12 @@ type Config struct {
 	// Workers sizes the worker pool (0 = GOMAXPROCS); the report is
 	// byte-identical for every value.
 	Workers int
+	// Cache, when non-nil, memoizes plan executions. The tiny-database
+	// sweep is where it pays most: instantiations repeat across rules, and
+	// identically-labeled databases share a catalog identity, so the same
+	// (plan, database) pair executes once per process instead of once per
+	// rule. Reports are byte-identical with and without it.
+	Cache *rescache.Cache
 }
 
 // Finding is one verified rule failure: the smallest failing
@@ -311,7 +318,7 @@ func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, base *physical
 	}
 	for _, db := range enumerateDatabases(inst.tables) {
 		cat := buildCatalog(db)
-		baseRows, err := exec.RunEngine(exec.EngineBatch, base, cat, maxResultRows, maxWorkRows)
+		baseRows, err := res.cfg.Cache.Run(exec.EngineBatch, base, cat, maxResultRows, maxWorkRows)
 		if err != nil {
 			// The base side is the canonical lowering; only a budget trip
 			// can fail it, and then no comparison on this database is
@@ -322,7 +329,7 @@ func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, base *physical
 		}
 		for i, alt := range live {
 			res.stat.Pairs++
-			altRows, err := exec.RunEngine(exec.EngineBatch, alt, cat, maxResultRows, maxWorkRows)
+			altRows, err := res.cfg.Cache.Run(exec.EngineBatch, alt, cat, maxResultRows, maxWorkRows)
 			if err != nil {
 				if errors.Is(err, exec.ErrRowLimit) {
 					res.stat.Skipped++

@@ -38,6 +38,7 @@ import (
 	"qtrtest/internal/memo"
 	"qtrtest/internal/mutate"
 	"qtrtest/internal/opt"
+	"qtrtest/internal/rescache"
 	"qtrtest/internal/rulecheck"
 	"qtrtest/internal/rules"
 	"qtrtest/internal/scalar"
@@ -290,6 +291,26 @@ var (
 	// from the default rule set.
 	RegistryExtend = rules.Extend
 )
+
+// Result-cache surface (internal/rescache): the campaign-wide plan-result
+// cache behind the CLI's -cache/-cachestats flags. One cache can serve any
+// mix of campaigns — suite validation (Graph.SetCache), mutation
+// (MutationConfig.Cache), fuzzing (FuzzConfig.Cache) and verification
+// (VerifyConfig.Cache) — because entries are keyed by plan fingerprint,
+// catalog identity, execution caps and engine alone. Every campaign's report
+// is byte-identical with and without a cache, at any worker count.
+type (
+	// ResultCache memoizes plan-execution outcomes (rows or error) across a
+	// campaign. A nil *ResultCache is valid and falls through to direct
+	// execution.
+	ResultCache = rescache.Cache
+	// ResultCacheStats is a point-in-time cache statistics snapshot.
+	ResultCacheStats = rescache.Stats
+)
+
+// NewResultCache builds a bounded result cache; maxBytes <= 0 selects the
+// default budget.
+var NewResultCache = rescache.New
 
 // RuleSetOf returns RuleSet(q): the rules exercised when optimizing the
 // query (§2.2).
