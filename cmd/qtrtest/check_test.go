@@ -19,7 +19,7 @@ func checkDB(t *testing.T) *qtrtest.DB {
 // the combined registry must return an error (exit 1 at the CLI).
 func TestCheckMutantWithEETExitsNonzero(t *testing.T) {
 	db := checkDB(t)
-	if err := cmdCheck(db, []string{"-mutant", "wrong-agg", "-eet"}, 2, nil); err == nil {
+	if err := cmdCheck(db, []string{"-mutant", "wrong-agg", "-eet"}, 2, nil, ""); err == nil {
 		t.Fatal("check -mutant wrong-agg -eet returned nil; lint findings on the combined registry must exit nonzero")
 	}
 }
@@ -29,7 +29,7 @@ func TestCheckMutantWithEETExitsNonzero(t *testing.T) {
 // return nil.
 func TestCheckEETCleanExitsZero(t *testing.T) {
 	db := checkDB(t)
-	if err := cmdCheck(db, []string{"-eet"}, 2, nil); err != nil {
+	if err := cmdCheck(db, []string{"-eet"}, 2, nil, ""); err != nil {
 		t.Fatalf("check -eet on the pristine registry failed: %v", err)
 	}
 }
@@ -38,7 +38,7 @@ func TestCheckEETCleanExitsZero(t *testing.T) {
 // since an XML export has no mutant or EET variant to resolve.
 func TestCheckXMLExclusive(t *testing.T) {
 	db := checkDB(t)
-	err := cmdCheck(db, []string{"-xml", "nope.xml", "-mutant", "wrong-agg"}, 2, nil)
+	err := cmdCheck(db, []string{"-xml", "nope.xml", "-mutant", "wrong-agg"}, 2, nil, "")
 	if err == nil || !strings.Contains(err.Error(), "-xml cannot be combined") {
 		t.Fatalf("check -xml -mutant: err = %v, want the exclusivity error", err)
 	}
@@ -49,10 +49,10 @@ func TestCheckXMLExclusive(t *testing.T) {
 // linter alone cannot catch must still fail the command.
 func TestCheckDeepPassFlagsMutant(t *testing.T) {
 	db := checkDB(t)
-	if err := cmdCheck(db, []string{"-mutant", "limit-off-by-one", "-verify"}, 4, nil); err == nil {
+	if err := cmdCheck(db, []string{"-mutant", "limit-off-by-one", "-verify"}, 4, nil, ""); err == nil {
 		t.Fatal("check -mutant limit-off-by-one -verify returned nil; the deep pass missed the mutant")
 	}
-	if err := cmdCheck(db, []string{"-verify"}, 4, nil); err != nil {
+	if err := cmdCheck(db, []string{"-verify"}, 4, nil, ""); err != nil {
 		t.Fatalf("check -verify on the pristine registry failed: %v", err)
 	}
 }
@@ -61,11 +61,11 @@ func TestCheckDeepPassFlagsMutant(t *testing.T) {
 // when a rule is flagged.
 func TestVerifyCommandExitCodes(t *testing.T) {
 	db := checkDB(t)
-	err := cmdVerify(db, []string{"-mutant", "limit-off-by-one", "-rules", "117"}, 2, nil)
+	err := cmdVerify(db, []string{"-mutant", "limit-off-by-one", "-rules", "117"}, 2, nil, "")
 	if err == nil || !strings.Contains(err.Error(), "1 rule(s) flagged") {
 		t.Fatalf("verify on the limit mutant: err = %v, want a flagged-rule error", err)
 	}
-	if err := cmdVerify(db, []string{"-rules", "116,117"}, 2, nil); err != nil {
+	if err := cmdVerify(db, []string{"-rules", "116,117"}, 2, nil, ""); err != nil {
 		t.Fatalf("verify on pristine rules 116,117 failed: %v", err)
 	}
 }

@@ -23,6 +23,9 @@
 // Global flags (before the subcommand): -scale, -seed, -db tpch|star, -ext,
 // -workers (worker pool size for the parallel campaign engine; suites,
 // solutions and validation reports are identical for every value),
+// -backend (an independent execution backend — e.g. "ref", the naive
+// reference interpreter — cross-checked against every base execution in
+// suite -validate, mutate, check -verify, verify and fuzz),
 // -cache/-cachemb (campaign-wide plan-result cache; reports are
 // byte-identical with it on or off), -cachestats (print cache hit/miss/
 // eviction counters to stderr after the run),
@@ -48,6 +51,7 @@ func main() {
 	schema := flag.String("db", "tpch", "test database: tpch or star")
 	ext := flag.Bool("ext", false, "enable the schema-dependent extension rules (31-34)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for suite generation/compression/execution (results are identical for any value)")
+	backend := flag.String("backend", "", "independent cross-check backend (e.g. ref); replays base executions on it in suite -validate, mutate, check -verify, verify and fuzz")
 	cacheOn := flag.Bool("cache", true, "memoize plan-execution results across the campaign (reports are byte-identical either way)")
 	cacheMB := flag.Int("cachemb", 256, "result-cache memory budget in MiB")
 	cacheStats := flag.Bool("cachestats", false, "print result-cache hit/miss/eviction counters to stderr after the run")
@@ -100,17 +104,17 @@ func main() {
 	case "query":
 		err = cmdQuery(db, rest)
 	case "suite":
-		err = cmdSuite(db, rest, *seed, *workers, rc)
+		err = cmdSuite(db, rest, *seed, *workers, rc, *backend)
 	case "interactions":
 		err = cmdInteractions(db, rest, *seed)
 	case "mutate":
-		err = cmdMutate(db, rest, *seed, *workers, rc)
+		err = cmdMutate(db, rest, *seed, *workers, rc, *backend)
 	case "check":
-		err = cmdCheck(db, rest, *workers, rc)
+		err = cmdCheck(db, rest, *workers, rc, *backend)
 	case "verify":
-		err = cmdVerify(db, rest, *workers, rc)
+		err = cmdVerify(db, rest, *workers, rc, *backend)
 	case "fuzz":
-		err = cmdFuzz(db, rest, *schema, *seed, *workers, rc)
+		err = cmdFuzz(db, rest, *schema, *seed, *workers, rc, *backend)
 	case "bench":
 		err = cmdBench(db, rest)
 	default:
@@ -134,7 +138,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-cache=false] [-cachemb M] [-cachestats] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|verify|fuzz|bench> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qtrtest [-scale F] [-seed S] [-db tpch|star] [-ext] [-workers W] [-backend ref] [-cache=false] [-cachemb M] [-cachestats] [-cpuprofile F] [-memprofile F] <rules|patterns|generate|ruleset|explain|analyze|query|suite|interactions|mutate|check|verify|fuzz|bench> [flags]")
 	os.Exit(2)
 }
 
@@ -354,7 +358,7 @@ func cmdInteractions(db *qtrtest.DB, args []string, seed int64) error {
 // cmdMutate runs the rule-mutation fault-injection campaign: one full
 // generate/compress/execute pipeline per injected rule fault, reporting the
 // mutation score of the uncompressed and compressed suites.
-func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtest.ResultCache) error {
+func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtest.ResultCache, backend string) error {
 	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
 	k := fs.Int("k", 12, "test-suite size per target")
 	targets := fs.Int("targets", 0, "extra healthy-rule targets beside the mutated rule (slow at full scale: wrong plans can be cross products)")
@@ -365,7 +369,7 @@ func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrte
 	fs.Parse(args)
 	cfg := qtrtest.MutationConfig{
 		K: *k, Targets: *targets, ExtraOps: *extra, Seed: seed,
-		MaxTrials: *trials, Workers: workers, Cache: rc,
+		MaxTrials: *trials, Workers: workers, Cache: rc, Backend: backend,
 	}
 	if *kinds != "" {
 		var ks []qtrtest.MutantKind
@@ -391,7 +395,7 @@ func cmdMutate(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrte
 // registry as a self-test probe, optionally extended with the EET rule pack
 // — and exits nonzero on findings. With -verify it additionally runs the
 // small-scope semantic verifier over the same live registry as a deep pass.
-func cmdCheck(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCache) error {
+func cmdCheck(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCache, backend string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	matrix := fs.Bool("matrix", false, "also print the composability feeds relation")
@@ -451,6 +455,7 @@ func cmdCheck(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCach
 	if *deep {
 		vcfg.Workers = workers
 		vcfg.Cache = rc
+		vcfg.Backend = backend
 		vrep, err := qtrtest.VerifyRules(vcfg)
 		if err != nil {
 			return err
@@ -465,7 +470,7 @@ func cmdCheck(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCach
 	return lintErr
 }
 
-func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtest.ResultCache) error {
+func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtest.ResultCache, backend string) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	n := fs.Int("n", 10, "number of exploration rules")
 	k := fs.Int("k", 5, "test-suite size per target")
@@ -515,17 +520,27 @@ func cmdSuite(db *qtrtest.DB, args []string, seed int64, workers int, rc *qtrtes
 		sol.TotalCost, sol.OptimizerCalls)
 	if *validate {
 		g.SetCache(rc)
+		if err := g.SetBackend(backend); err != nil {
+			return err
+		}
 		rep, err := g.Run(sol, db.Optimizer, db.Catalog)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("validation: %d plan executions, %d skipped (identical plans), %d mismatches, %d undetermined\n",
 			rep.PlanExecutions, rep.SkippedIdentical, len(rep.Mismatches), len(rep.Undetermined))
+		if backend != "" {
+			fmt.Printf("backend %s: %d cross-checks, %d disagreements\n",
+				backend, rep.BackendChecks, len(rep.BackendDisagreements))
+		}
 		for _, m := range rep.Mismatches {
 			fmt.Printf("  BUG target %s: %s\n      %s\n", m.Target, m.Detail, m.Query.SQL)
 		}
 		for _, u := range rep.Undetermined {
 			fmt.Printf("  UNDETERMINED target %s: %s\n      %s\n", u.Target, u.Detail, u.Query.SQL)
+		}
+		for _, d := range rep.BackendDisagreements {
+			fmt.Printf("  BACKEND DISAGREEMENT: %s\n      %s\n", d.Detail, d.Query.SQL)
 		}
 	}
 	return nil

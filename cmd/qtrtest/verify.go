@@ -47,7 +47,7 @@ func eetRulePack() []qtrtest.Rule {
 // order/limit sensitivity. The report is byte-identical for every -workers
 // value, so a finding's repro line replays anywhere; the command exits
 // nonzero when any rule is flagged, making it a CI tripwire like fuzz.
-func cmdVerify(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCache) error {
+func cmdVerify(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCache, backend string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	ruleIDs := fs.String("rules", "", "comma-separated rule ids to verify (default: all)")
 	mutant := fs.String("mutant", "", "verify a mutant registry instead (fault-injection self-test)")
@@ -61,6 +61,7 @@ func cmdVerify(db *qtrtest.DB, args []string, workers int, rc *qtrtest.ResultCac
 	}
 	cfg.Workers = workers
 	cfg.Cache = rc
+	cfg.Backend = backend
 	if cfg.Rules, err = parseIDs(*ruleIDs); err != nil {
 		return err
 	}

@@ -50,6 +50,21 @@ type Report struct {
 	// Undetermined lists edges whose result differences are explained by
 	// under-determined query semantics rather than a rule bug.
 	Undetermined []Undetermined
+	// BackendChecks counts distinct base queries replayed on the
+	// cross-check backend (SetBackend); zero when the check is off.
+	BackendChecks int
+	// BackendDisagreements lists base queries whose backend replay did not
+	// agree with the primary engine — evidence of a fault the
+	// self-differential oracle cannot see.
+	BackendDisagreements []BackendDisagreement
+}
+
+// BackendDisagreement records one cross-engine divergence: the primary
+// engine and the independent backend produced incompatible results (or one
+// errored) for the same query.
+type BackendDisagreement struct {
+	Query  *Query
+	Detail string
 }
 
 // BaseExec is one executed Plan(q): the reference side of the differential
@@ -162,8 +177,17 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 		}
 	}
 
-	// Phase 1: execute every Plan(q) once, in parallel.
+	// Phase 1: execute every Plan(q) once, in parallel. With a cross-check
+	// backend set, each base is additionally replayed there and compared;
+	// outcomes land in index-addressed slots and are merged in distinct
+	// order so the report stays byte-identical at any worker count.
+	type backendCheck struct {
+		checked bool
+		detail  string
+		diff    bool
+	}
 	bases := make([]*BaseExec, len(distinct))
+	bkChecks := make([]backendCheck, len(distinct))
 	err := par.ForEachErr(g.workers, len(distinct), func(i int) error {
 		qi := distinct[i]
 		q := g.Queries[qi]
@@ -180,12 +204,36 @@ func (g *Graph) Run(sol *Solution, o *opt.Optimizer, cat *catalog.Catalog) (*Rep
 			return fmt.Errorf("suite: executing query %d: %w", qi, err)
 		}
 		bases[i] = base
+		if g.backendOn && q.Tree != nil {
+			out, err := CrossCheckBase(g.cache, g.backend, g.engine, q.Tree, base, cat, 0, 0)
+			switch {
+			case err != nil:
+				bkChecks[i] = backendCheck{checked: true, diff: true, detail: err.Error()}
+			case out.Skipped || out.Capped:
+				// Nothing independent to compare (backend == engine; caps
+				// cannot trip at (0,0)).
+			case out.Verdict == exec.VerdictMismatch:
+				bkChecks[i] = backendCheck{checked: true, diff: true, detail: out.Detail}
+			default:
+				bkChecks[i] = backendCheck{checked: true}
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	rep.PlanExecutions = len(distinct)
+	for i, bc := range bkChecks {
+		if !bc.checked {
+			continue
+		}
+		rep.BackendChecks++
+		if bc.diff {
+			rep.BackendDisagreements = append(rep.BackendDisagreements,
+				BackendDisagreement{Query: g.Queries[distinct[i]], Detail: bc.detail})
+		}
+	}
 
 	// Phase 2: execute every edge's Plan(q,¬R) in parallel, skipping plans
 	// identical to the base. Results land in assignment-indexed slots so the

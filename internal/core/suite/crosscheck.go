@@ -1,0 +1,60 @@
+package suite
+
+import (
+	"errors"
+	"fmt"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/exec"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/rescache"
+)
+
+// This file wires the independent-backend cross-check into the campaign
+// oracles. The differential and metamorphic oracles are self-differential:
+// both sides execute on the same engine, so a fault shared by the optimizer
+// and executor is invisible to them. CrossCheckBase replays a base query on
+// a second engine and compares under the same order-aware oracle, turning
+// that shared-fault class into ordinary findings.
+
+// CrossCheckBase replays base's query on an independent backend and
+// compares the results through the result cache with the order-aware
+// oracle.
+//
+// A tree-capable backend (exec.HasTreeBackend) evaluates the query's
+// *logical* tree — the pre-optimizer form — so an optimizer fault in the
+// base plan cannot replay itself into the cross-check; a built-in engine
+// backend re-executes the base plan. Budget trips on the backend side
+// surface as Capped (never a verdict), keeping Capped outcomes
+// backend-independent per the budget-parity contract (DESIGN.md §15). An
+// execution error on the backend when the base succeeded is itself a
+// semantic divergence and is returned as an error for the caller to report.
+func CrossCheckBase(rc *rescache.Cache, backend, primary exec.Engine, tree *logical.Expr, base *BaseExec, cat *catalog.Catalog, maxRows int, maxWork int64) (EdgeOutcome, error) {
+	if backend == primary {
+		return EdgeOutcome{Skipped: true}, nil
+	}
+	var (
+		rows  []datum.Row
+		order exec.PlanOrder
+		err   error
+	)
+	if exec.HasTreeBackend(backend) {
+		if tree == nil {
+			return EdgeOutcome{}, fmt.Errorf("suite: backend %v needs the logical tree for a cross-check", backend)
+		}
+		rows, err = rc.RunTree(backend, tree, cat, maxRows, maxWork)
+		order = exec.TreeOrder(tree)
+	} else {
+		rows, err = rc.Run(backend, base.Plan, cat, maxRows, maxWork)
+		order = base.Order
+	}
+	if errors.Is(err, exec.ErrRowLimit) {
+		return EdgeOutcome{Capped: true}, nil
+	}
+	if err != nil {
+		return EdgeOutcome{}, fmt.Errorf("backend %v execution: %w", backend, err)
+	}
+	verdict, detail := exec.CompareResults(base.Rows, base.Order, rows, order)
+	return EdgeOutcome{Verdict: verdict, Detail: detail}, nil
+}

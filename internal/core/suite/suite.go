@@ -117,6 +117,10 @@ type Graph struct {
 	// cache, when non-nil, memoizes plan executions across Run calls (and
 	// across graphs sharing the same cache); nil executes directly.
 	cache *rescache.Cache
+	// backend, when backendOn, is the independent engine Run replays every
+	// distinct base query on (SetBackend).
+	backend   exec.Engine
+	backendOn bool
 }
 
 // Workers returns the graph's worker-pool bound (<= 0 means GOMAXPROCS).
@@ -135,6 +139,24 @@ func (g *Graph) SetEngine(e exec.Engine) { g.engine = e }
 // Reports are byte-identical with and without one; the cache differential
 // tests hold the suite to that.
 func (g *Graph) SetCache(c *rescache.Cache) { g.cache = c }
+
+// SetBackend enables the independent-backend cross-check: Run additionally
+// replays every distinct base query on the named engine ("ref", "row",
+// "batch") and reports disagreements. An empty name disables the check
+// (the default); reports are byte-identical to a backend-less run then.
+func (g *Graph) SetBackend(name string) error {
+	if name == "" {
+		g.backendOn = false
+		return nil
+	}
+	e, err := exec.EngineByName(name)
+	if err != nil {
+		return err
+	}
+	g.backend = e
+	g.backendOn = true
+	return nil
+}
 
 // edgeKey identifies one edge (q, ¬R) of the bipartite graph. Targets are
 // singleton rules or rule pairs, so two rule IDs suffice (r2 is zero for

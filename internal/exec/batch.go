@@ -82,12 +82,24 @@ const (
 	// EngineRow is the original Volcano row-at-a-time engine, retained as
 	// the differential baseline.
 	EngineRow
+	// EngineRef is the independent reference interpreter
+	// (internal/refengine), registered through the Backend seam in
+	// backend.go. It evaluates logical trees directly and shares no
+	// evaluation code with the two engines above, which is what makes it a
+	// usable cross-check oracle for both of them.
+	EngineRef
 )
 
 // String returns the engine name as spelled in reports and benchmarks.
 func (e Engine) String() string {
-	if e == EngineRow {
+	switch e {
+	case EngineRow:
 		return "row"
+	case EngineBatch:
+		return "batch"
+	}
+	if b := backendFor(e); b != nil {
+		return b.Name()
 	}
 	return "batch"
 }
@@ -103,6 +115,9 @@ func (e Engine) String() string {
 // their work totals — and therefore their ErrRowLimit outcomes — are
 // identical.
 func RunEngine(eng Engine, plan *physical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) ([]datum.Row, error) {
+	if b := backendFor(eng); b != nil {
+		return b.RunPlan(plan, cat, maxRows, maxWork)
+	}
 	if eng == EngineRow || (maxWork > 0 && hasLimit(plan)) {
 		return runRowEngine(plan, cat, maxRows, maxWork)
 	}

@@ -96,6 +96,14 @@ type Config struct {
 	// byte-identical across engines; the knob exists so the differential
 	// golden tests can pin that.
 	Engine exec.Engine
+	// Backend names an independent engine ("ref", "row", "batch") that
+	// every base query is additionally replayed on and compared against —
+	// the cross-engine oracle that breaks the campaign's self-differential
+	// circularity. The "ref" backend evaluates the pre-optimizer logical
+	// tree on the reference interpreter, so it catches faults the optimizer
+	// and both built-in engines share. Empty (the default) disables the
+	// check, leaving the report byte-identical to a backend-less campaign.
+	Backend string
 	// Cache, when non-nil, memoizes plan executions across the whole
 	// campaign — oracles and shrinker alike. Reports are byte-identical with
 	// and without it (the cache differential tests pin that); it only
@@ -151,7 +159,11 @@ func (c *Config) repro() string {
 	if c.DB == "rand" {
 		db = ""
 	}
-	line := fmt.Sprintf("qtrtest %s-seed %d fuzz -n %d", db, c.Seed, c.N)
+	backend := ""
+	if c.Backend != "" {
+		backend = fmt.Sprintf("-backend %s ", c.Backend)
+	}
+	line := fmt.Sprintf("qtrtest %s%s-seed %d fuzz -n %d", db, backend, c.Seed, c.N)
 	if c.EET {
 		line += " -eet"
 	}
@@ -182,6 +194,10 @@ type campaign struct {
 	gen      *qgen.Generator
 	rewrites []Rewrite
 	cache    *rescache.Cache
+	// backend is the resolved Config.Backend engine; backendOn gates the
+	// cross-engine oracle.
+	backend   exec.Engine
+	backendOn bool
 }
 
 // execBase runs a base plan under the campaign's caps, through the cache
@@ -206,28 +222,40 @@ type finding struct {
 
 // result is one query's outcome, written into an index-addressed slot.
 type result struct {
-	skip         string // "" when the query executed; else the stage that rejected it
-	shape        uint64
-	ops          []logical.Op
-	planExecs    int
-	diffChecks   int
-	metaChecks   int
-	undetermined int
-	findings     []finding
+	skip          string // "" when the query executed; else the stage that rejected it
+	shape         uint64
+	ops           []logical.Op
+	planExecs     int
+	diffChecks    int
+	metaChecks    int
+	backendChecks int
+	undetermined  int
+	findings      []finding
 }
 
 // Run executes a fuzz campaign and returns its report.
 func Run(cfg Config) (*Report, error) {
 	cfg.setDefaults()
+	var backendEng exec.Engine
+	if cfg.Backend != "" {
+		var err error
+		backendEng, err = exec.EngineByName(cfg.Backend)
+		if err != nil {
+			return nil, err
+		}
+	}
 	o := opt.New(cfg.Registry, cfg.Catalog)
 	gen, err := qgen.New(o, qgen.Config{Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	c := &campaign{cfg: cfg, opt: o, gen: gen, rewrites: rewritesFor(cfg), cache: cfg.Cache}
+	c := &campaign{
+		cfg: cfg, opt: o, gen: gen, rewrites: rewritesFor(cfg), cache: cfg.Cache,
+		backend: backendEng, backendOn: cfg.Backend != "",
+	}
 
 	rep := &Report{
-		Schema: ReportSchema, DB: cfg.DB, Mutant: cfg.Mutant,
+		Schema: ReportSchema, DB: cfg.DB, Mutant: cfg.Mutant, Backend: cfg.Backend,
 		Seed: cfg.Seed, N: cfg.N, Findings: []Finding{},
 	}
 	var deadline time.Time
@@ -264,6 +292,7 @@ func Run(cfg Config) (*Report, error) {
 			rep.PlanExecutions += r.planExecs
 			rep.DifferentialChecks += r.diffChecks
 			rep.MetamorphicChecks += r.metaChecks
+			rep.BackendChecks += r.backendChecks
 			rep.Undetermined += r.undetermined
 			if coverage[r.shape] == 0 {
 				// Novel plan shape: QPG-style steering boosts the operators
@@ -368,6 +397,37 @@ func (c *campaign) runOne(idx int, w *qgen.Weights) result {
 		return r
 	}
 	r.planExecs++
+
+	// Cross-engine oracle: replay the query on the independent backend and
+	// compare against the base execution. A backend-side execution error is
+	// itself a divergence (engines must agree on Error-vs-OK); a budget
+	// trip on the backend skips the comparison per the budget-parity
+	// contract.
+	if c.backendOn {
+		out, err := suite.CrossCheckBase(c.cache, c.backend, c.cfg.Engine,
+			bound.Tree, base, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+		switch {
+		case err != nil:
+			f := mk(KindBackend)
+			f.pub.Detail = err.Error()
+			f.pub.BasePlan = res.Plan.String()
+			r.findings = append(r.findings, f)
+		case out.Skipped || out.Capped:
+			// backend == engine, or the backend hit a budget: nothing to
+			// compare.
+		default:
+			r.backendChecks++
+			switch out.Verdict {
+			case exec.VerdictMismatch:
+				f := mk(KindBackend)
+				f.pub.Detail = out.Detail
+				f.pub.BasePlan = res.Plan.String()
+				r.findings = append(r.findings, f)
+			case exec.VerdictUndetermined:
+				r.undetermined++
+			}
+		}
+	}
 
 	// Differential oracle: disable each exercised rule in turn and compare.
 	// An unplannable Plan(q,¬r) (r was the only implementation of some

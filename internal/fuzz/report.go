@@ -22,6 +22,10 @@ const (
 	// render, bind or plan: a bug in the fuzzer's own rewrite catalog, kept
 	// visible so the equivalence tests pin it to zero.
 	KindRewriteError = "rewrite-error"
+	// KindBackend is a cross-engine divergence: the independent backend's
+	// replay of the base query (Config.Backend) produced results the
+	// order-aware oracle rejects, or errored where the base succeeded.
+	KindBackend = "backend"
 )
 
 // Finding is one reported fault, with the evidence and a reproducer line.
@@ -59,8 +63,12 @@ type Report struct {
 	Schema string `json:"schema"`
 	DB     string `json:"db"`
 	Mutant string `json:"mutant,omitempty"`
-	Seed   int64  `json:"seed"`
-	N      int    `json:"n"`
+	// Backend is the cross-engine oracle's engine name (Config.Backend);
+	// empty when the check was off. Both fields are omitted then, keeping
+	// backend-less reports byte-identical to earlier schema revisions.
+	Backend string `json:"backend,omitempty"`
+	Seed    int64  `json:"seed"`
+	N       int    `json:"n"`
 	// Generated counts queries that reached execution; Skipped tallies the
 	// rest by pipeline stage.
 	Generated int            `json:"generated"`
@@ -72,7 +80,10 @@ type Report struct {
 	PlanExecutions     int `json:"plan_executions"`
 	DifferentialChecks int `json:"differential_checks"`
 	MetamorphicChecks  int `json:"metamorphic_checks"`
-	Undetermined       int `json:"undetermined"`
+	// BackendChecks counts base queries compared against the cross-engine
+	// backend (budget-capped replays excluded).
+	BackendChecks int `json:"backend_checks,omitempty"`
+	Undetermined  int `json:"undetermined"`
 	// TimedOut reports the campaign stopped at a round boundary because the
 	// -timeout budget ran out; a timed-out report is NOT
 	// workers-deterministic.
@@ -94,11 +105,17 @@ func (r *Report) Print(w io.Writer) {
 	if r.Mutant != "" {
 		fmt.Fprintf(w, " mutant=%s", r.Mutant)
 	}
+	if r.Backend != "" {
+		fmt.Fprintf(w, " backend=%s", r.Backend)
+	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  %d queries executed (%s), %d distinct plan shapes\n",
 		r.Generated, r.skipSummary(), r.PlanShapes)
 	fmt.Fprintf(w, "  %d plan executions: %d differential checks, %d metamorphic checks, %d undetermined\n",
 		r.PlanExecutions, r.DifferentialChecks, r.MetamorphicChecks, r.Undetermined)
+	if r.Backend != "" {
+		fmt.Fprintf(w, "  %d cross-engine checks against backend %s\n", r.BackendChecks, r.Backend)
+	}
 	if r.TimedOut {
 		fmt.Fprintln(w, "  campaign stopped early: -timeout budget exhausted")
 	}
@@ -111,6 +128,8 @@ func (r *Report) Print(w io.Writer) {
 			head = fmt.Sprintf("differential ¬%d", f.Rule)
 		case KindMetamorphic:
 			head = fmt.Sprintf("metamorphic %s", f.Rewrite)
+		case KindBackend:
+			head = fmt.Sprintf("backend %s", r.Backend)
 		}
 		fmt.Fprintf(w, "  [%d] query %d (seed %d) %s: %s\n", i+1, f.Query, f.Seed, head, f.Detail)
 		fmt.Fprintf(w, "      sql: %s\n", f.SQL)

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"qtrtest/internal/bind"
+	"qtrtest/internal/core/suite"
 	"qtrtest/internal/exec"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/opt"
@@ -37,7 +38,12 @@ func newShrinkBudget(n int) *shrinkBudget {
 
 // charge deducts one check if this execution key is new to the finding.
 func (b *shrinkBudget) charge(eng exec.Engine, plan *physical.Expr, c *campaign) {
-	k := rescache.KeyFor(eng, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	b.chargeKey(rescache.KeyFor(eng, plan, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork))
+}
+
+// chargeKey is charge for a pre-built execution key (tree executions on a
+// backend carry their own key shape).
+func (b *shrinkBudget) chargeKey(k rescache.Key) {
 	if _, ok := b.seen[k]; ok {
 		return
 	}
@@ -72,6 +78,10 @@ func (c *campaign) shrinkFinding(f *finding) {
 	case KindExecError:
 		keep = func(t *logical.Expr) bool {
 			return !budget.spent() && c.execErrs(t, f.md, rules.ID(f.pub.Rule), budget)
+		}
+	case KindBackend:
+		keep = func(t *logical.Expr) bool {
+			return !budget.spent() && c.backendTrips(t, f.md, budget)
 		}
 	default:
 		return
@@ -165,6 +175,36 @@ func (c *campaign) metaTrips(t *logical.Expr, md *logical.Metadata, name string,
 		return err == nil && !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
 	}
 	return false
+}
+
+// backendTrips reports whether the cross-engine oracle still fires on the
+// candidate: the independent backend's replay of the query either errors
+// where the base succeeded or produces mismatching results.
+func (c *campaign) backendTrips(t *logical.Expr, md *logical.Metadata, budget *shrinkBudget) bool {
+	bound, err := c.rebind(t, md)
+	if err != nil {
+		return false
+	}
+	res, err := c.opt.Optimize(bound.Tree, bound.MD, opt.Options{})
+	if err != nil || res.Plan.Cost > c.cfg.MaxCost {
+		return false
+	}
+	budget.charge(c.cfg.Engine, res.Plan, c)
+	base, err := c.execBase(res.Plan)
+	if err != nil {
+		return false
+	}
+	if exec.HasTreeBackend(c.backend) {
+		budget.chargeKey(rescache.KeyForTree(c.backend, bound.Tree, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork))
+	} else {
+		budget.charge(c.backend, res.Plan, c)
+	}
+	out, err := suite.CrossCheckBase(c.cache, c.backend, c.cfg.Engine,
+		bound.Tree, base, c.cfg.Catalog, c.cfg.MaxRows, c.cfg.MaxWork)
+	if err != nil {
+		return true
+	}
+	return !out.Skipped && !out.Capped && out.Verdict == exec.VerdictMismatch
 }
 
 // execErrs reports whether the pipeline still fails with an execution error

@@ -24,6 +24,7 @@ var resultAffecting = []string{
 	"qtrtest/internal/rules",
 	"qtrtest/internal/opt",
 	"qtrtest/internal/exec",
+	"qtrtest/internal/refengine",
 	"qtrtest/internal/mutate",
 	"qtrtest/internal/fuzz",
 }

@@ -40,6 +40,12 @@ type Config struct {
 	// in the plans they execute. Scores are byte-identical with and without
 	// it.
 	Cache *rescache.Cache
+	// Backend names an independent execution backend ("" disables it). When
+	// set, every suite run additionally replays each base query there and
+	// records cross-engine disagreements — an oracle that catches mutants
+	// whose fault survives into both sides of the self-differential
+	// comparison.
+	Backend string
 }
 
 func (c *Config) setDefaults() {
@@ -81,6 +87,12 @@ type AlgoScore struct {
 	PlanExecutions   int
 	SkippedIdentical int
 	Undetermined     int
+	// BackendChecks and BackendDisagreements report the cross-engine oracle
+	// (Config.Backend): base queries replayed on the independent backend and
+	// how many of those replays disagreed with the mutated pipeline. A
+	// disagreement counts as a catch even when no edge mismatched.
+	BackendChecks        int
+	BackendDisagreements int
 }
 
 // MutantResult is the outcome of running the full pipeline against one
@@ -150,7 +162,15 @@ func (s *Score) Print(w io.Writer, diff bool) {
 		if diff && r.BasePlan != "" {
 			fmt.Fprintf(w, "    query: %s\n", r.SQL)
 			fmt.Fprintf(w, "    Plan(q) with mutated rule:\n%s", indent(r.BasePlan, "      "))
-			fmt.Fprintf(w, "    Plan(q,¬R):\n%s", indent(r.EdgePlan, "      "))
+			if r.EdgePlan != "" {
+				fmt.Fprintf(w, "    Plan(q,¬R):\n%s", indent(r.EdgePlan, "      "))
+			}
+		}
+		for _, a := range r.Algos {
+			if a.BackendDisagreements > 0 {
+				fmt.Fprintf(w, "    %s: %d of %d backend cross-checks disagreed\n",
+					a.Algo, a.BackendDisagreements, a.BackendChecks)
+			}
 		}
 	}
 	n := len(s.Results)
@@ -214,6 +234,9 @@ func runOne(cat *catalog.Catalog, m Mutant, cfg Config) (*MutantResult, error) {
 		return nil, err
 	}
 	g.SetCache(cfg.Cache)
+	if err := g.SetBackend(cfg.Backend); err != nil {
+		return nil, err
+	}
 	res := &MutantResult{Mutant: m, Queries: len(g.Queries)}
 	algos := []struct {
 		name string
@@ -235,7 +258,16 @@ func runOne(cat *catalog.Catalog, m Mutant, cfg Config) (*MutantResult, error) {
 		as := AlgoScore{
 			Algo:           a.name,
 			PlanExecutions: rep.PlanExecutions, SkippedIdentical: rep.SkippedIdentical,
-			Undetermined: len(rep.Undetermined),
+			Undetermined:  len(rep.Undetermined),
+			BackendChecks: rep.BackendChecks, BackendDisagreements: len(rep.BackendDisagreements),
+		}
+		if len(rep.BackendDisagreements) > 0 {
+			bd := &rep.BackendDisagreements[0]
+			as.Caught = true
+			as.Detail = fmt.Sprintf("backend cross-check: %s", bd.Detail)
+			if res.BasePlan == "" && bd.Query.BasePlan != nil {
+				res.SQL, res.BasePlan = bd.Query.SQL, bd.Query.BasePlan.String()
+			}
 		}
 		if len(rep.Mismatches) > 0 {
 			mm := &rep.Mismatches[0]

@@ -1,0 +1,97 @@
+package refengine_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"qtrtest/internal/catalog"
+	"qtrtest/internal/datum"
+	"qtrtest/internal/logical"
+	"qtrtest/internal/refengine"
+	"qtrtest/internal/scalar"
+)
+
+// refCatalog builds one tiny table t(a,b) with a NULL:
+//
+//	(1,10) (2,20) (3,NULL)
+func refCatalog() *catalog.Catalog {
+	c := catalog.New()
+	tb := &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: datum.TypeInt}, {Name: "b", Type: datum.TypeInt},
+		},
+		Rows: []datum.Row{
+			{datum.NewInt(1), datum.NewInt(10)},
+			{datum.NewInt(2), datum.NewInt(20)},
+			{datum.NewInt(3), datum.Null},
+		},
+	}
+	tb.ComputeStats()
+	c.Add(tb)
+	return c
+}
+
+func getT() *logical.Expr {
+	return &logical.Expr{Op: logical.OpGet, Table: "t", Cols: []scalar.ColumnID{1, 2}}
+}
+
+func TestEvalSelect(t *testing.T) {
+	tree := &logical.Expr{
+		Op:       logical.OpSelect,
+		Filter:   &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: 2}, R: &scalar.Const{D: datum.NewInt(15)}},
+		Children: []*logical.Expr{getT()},
+	}
+	rows, err := refengine.Eval(tree, refCatalog(), refengine.Limits{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	// b > 15 keeps only (2,20); (3,NULL) is UNKNOWN and dropped.
+	if len(rows) != 1 || rows[0][0] != datum.NewInt(2) {
+		t.Fatalf("rows = %v, want [[2 20]]", rows)
+	}
+}
+
+func TestMaxRowsBudget(t *testing.T) {
+	_, err := refengine.Eval(getT(), refCatalog(), refengine.Limits{MaxRows: 2})
+	if !errors.Is(err, refengine.ErrBudget) {
+		t.Fatalf("MaxRows=2 over a 3-row table: err = %v, want ErrBudget", err)
+	}
+	rows, err := refengine.Eval(getT(), refCatalog(), refengine.Limits{MaxRows: 3})
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("MaxRows=3: rows=%d err=%v, want all 3 rows", len(rows), err)
+	}
+}
+
+func TestMaxWorkBudget(t *testing.T) {
+	// A self-join materializes 3 (left) + 3 (right) + 9 (pairs) rows of
+	// work; a budget under that must trip, an uncapped run must not.
+	md := logical.NewMetadata(refCatalog())
+	l, _ := md.AddTable("t")
+	r, _ := md.AddTable("t")
+	join := &logical.Expr{
+		Op:       logical.OpJoin,
+		On:       &scalar.Const{D: datum.NewBool(true)},
+		Children: []*logical.Expr{l, r},
+	}
+	if _, err := refengine.Eval(join, md.Catalog(), refengine.Limits{MaxWork: 5}); !errors.Is(err, refengine.ErrBudget) {
+		t.Fatalf("MaxWork=5: err = %v, want ErrBudget", err)
+	}
+	rows, err := refengine.Eval(join, md.Catalog(), refengine.Limits{})
+	if err != nil || len(rows) != 9 {
+		t.Fatalf("uncapped cross join: rows=%d err=%v, want 9", len(rows), err)
+	}
+}
+
+func TestUnknownColumnError(t *testing.T) {
+	tree := &logical.Expr{
+		Op:       logical.OpSelect,
+		Filter:   &scalar.Cmp{Op: scalar.CmpGT, L: &scalar.ColRef{ID: 99}, R: &scalar.Const{D: datum.NewInt(0)}},
+		Children: []*logical.Expr{getT()},
+	}
+	_, err := refengine.Eval(tree, refCatalog(), refengine.Limits{})
+	if err == nil || !strings.Contains(err.Error(), "not in scope") {
+		t.Fatalf("dangling column: err = %v, want a not-in-scope error", err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"qtrtest/internal/catalog"
 	"qtrtest/internal/datum"
 	"qtrtest/internal/exec"
+	"qtrtest/internal/logical"
 	"qtrtest/internal/physical"
 )
 
@@ -54,6 +55,23 @@ func KeyFor(eng exec.Engine, plan *physical.Expr, cat *catalog.Catalog, maxRows 
 	id, ver := cat.Identity()
 	return Key{
 		Plan:    plan.Hash(),
+		CatID:   id,
+		CatVer:  ver,
+		MaxRows: maxRows,
+		MaxWork: maxWork,
+		Engine:  eng,
+	}
+}
+
+// KeyForTree builds the cache key for a logical-tree execution on a
+// tree-capable backend. The engine dimension alone already separates
+// backend results from the built-in engines'; the fingerprint prefix
+// additionally separates a tree evaluation from a (hypothetical) plan
+// execution on the same backend.
+func KeyForTree(eng exec.Engine, tree *logical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) Key {
+	id, ver := cat.Identity()
+	return Key{
+		Plan:    "tree|" + tree.Hash(),
 		CatID:   id,
 		CatVer:  ver,
 		MaxRows: maxRows,
@@ -185,7 +203,28 @@ func (c *Cache) Run(eng exec.Engine, plan *physical.Expr, cat *catalog.Catalog, 
 	if c == nil {
 		return exec.RunEngine(eng, plan, cat, maxRows, maxWork)
 	}
-	k := KeyFor(eng, plan, cat, maxRows, maxWork)
+	return c.runKeyed(KeyFor(eng, plan, cat, maxRows, maxWork), func() ([]datum.Row, error) {
+		return exec.RunEngine(eng, plan, cat, maxRows, maxWork)
+	})
+}
+
+// RunTree executes a logical tree on a tree-capable backend through the
+// cache, with the same hit/miss/single-flight behavior as Run. Tree and
+// plan executions live in one keyspace but cannot collide: tree keys carry
+// the "tree|" fingerprint prefix (physical and logical fingerprints both
+// start with an operator number) and a backend engine ID.
+func (c *Cache) RunTree(eng exec.Engine, tree *logical.Expr, cat *catalog.Catalog, maxRows int, maxWork int64) ([]datum.Row, error) {
+	if c == nil {
+		return exec.RunTree(eng, tree, cat, maxRows, maxWork)
+	}
+	return c.runKeyed(KeyForTree(eng, tree, cat, maxRows, maxWork), func() ([]datum.Row, error) {
+		return exec.RunTree(eng, tree, cat, maxRows, maxWork)
+	})
+}
+
+// runKeyed is the shared cache core: look up the key, claim or join the
+// entry, compute once under the entry's sync.Once.
+func (c *Cache) runKeyed(k Key, compute func() ([]datum.Row, error)) ([]datum.Row, error) {
 	sh := c.shardFor(k)
 
 	sh.mu.Lock()
@@ -204,7 +243,7 @@ func (c *Cache) Run(eng exec.Engine, plan *physical.Expr, cat *catalog.Catalog, 
 	}
 
 	e.once.Do(func() {
-		e.rows, e.err = exec.RunEngine(eng, plan, cat, maxRows, maxWork)
+		e.rows, e.err = compute()
 		e.size = approxSize(e.rows)
 		c.admit(sh, e)
 	})

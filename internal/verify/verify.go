@@ -29,6 +29,7 @@ import (
 	"io"
 	"strings"
 
+	"qtrtest/internal/core/suite"
 	"qtrtest/internal/exec"
 	"qtrtest/internal/logical"
 	"qtrtest/internal/memo"
@@ -70,6 +71,15 @@ type Config struct {
 	// (plan, database) pair executes once per process instead of once per
 	// rule. Reports are byte-identical with and without it.
 	Cache *rescache.Cache
+	// Backend names an independent execution backend ("" disables it). When
+	// set, every base execution of the sweep is additionally replayed there
+	// and compared under the same order-aware oracle, so an engine fault that
+	// corrupts both sides of a rewrite identically still surfaces.
+	Backend string
+
+	// backend is the resolved Backend engine; backendOn gates the check.
+	backend   exec.Engine
+	backendOn bool
 }
 
 // Finding is one verified rule failure: the smallest failing
@@ -102,23 +112,30 @@ type RuleStat struct {
 	Undetermined int    `json:"undetermined"`
 	Skipped      int    `json:"skipped"`
 	Failing      int    `json:"failing"`
-	Truncated    bool   `json:"truncated,omitempty"`
+	// BackendChecks counts base executions replayed on the cross-check
+	// backend (Config.Backend); omitted when the check is off.
+	BackendChecks int  `json:"backend_checks,omitempty"`
+	Truncated     bool `json:"truncated,omitempty"`
 }
 
 // Report is a verification run's deterministic outcome.
 type Report struct {
-	Schema       string     `json:"schema"`
-	Mutant       string     `json:"mutant,omitempty"`
-	EET          bool       `json:"eet,omitempty"`
-	Rules        int        `json:"rules"`
-	Exercised    int        `json:"exercised"`
-	Pairs        int        `json:"pairs"`
-	Executed     int        `json:"executed"`
-	Identical    int        `json:"identical"`
-	Undetermined int        `json:"undetermined"`
-	Skipped      int        `json:"skipped"`
-	Findings     []Finding  `json:"findings"`
-	Stats        []RuleStat `json:"stats"`
+	Schema       string `json:"schema"`
+	Mutant       string `json:"mutant,omitempty"`
+	EET          bool   `json:"eet,omitempty"`
+	Backend      string `json:"backend,omitempty"`
+	Rules        int    `json:"rules"`
+	Exercised    int    `json:"exercised"`
+	Pairs        int    `json:"pairs"`
+	Executed     int    `json:"executed"`
+	Identical    int    `json:"identical"`
+	Undetermined int    `json:"undetermined"`
+	Skipped      int    `json:"skipped"`
+	// BackendChecks counts base executions replayed and compared on the
+	// cross-check backend; omitted when Config.Backend was empty.
+	BackendChecks int        `json:"backend_checks,omitempty"`
+	Findings      []Finding  `json:"findings"`
+	Stats         []RuleStat `json:"stats"`
 }
 
 // JSON renders the report; the output is byte-identical across runs and
@@ -148,6 +165,9 @@ func (r *Report) registryLabel() string {
 	if r.EET {
 		label += "+eet"
 	}
+	if r.Backend != "" {
+		label += " backend=" + r.Backend
+	}
 	return label
 }
 
@@ -166,6 +186,13 @@ func Run(cfg Config) (*Report, error) {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = rules.DefaultRegistry()
+	}
+	if cfg.Backend != "" {
+		eng, err := exec.EngineByName(cfg.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		cfg.backend, cfg.backendOn = eng, true
 	}
 	targets := reg.All()
 	if len(cfg.Rules) > 0 {
@@ -188,7 +215,7 @@ func Run(cfg Config) (*Report, error) {
 	par.ForEach(cfg.Workers, len(targets), func(i int) {
 		results[i] = checkRule(targets[i], &cfg)
 	})
-	rep := &Report{Schema: ReportSchema, Mutant: cfg.Mutant, EET: cfg.EET, Rules: len(targets)}
+	rep := &Report{Schema: ReportSchema, Mutant: cfg.Mutant, EET: cfg.EET, Backend: cfg.Backend, Rules: len(targets)}
 	for _, res := range results {
 		rep.Stats = append(rep.Stats, res.stat)
 		rep.Pairs += res.stat.Pairs
@@ -196,6 +223,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.Identical += res.stat.Identical
 		rep.Undetermined += res.stat.Undetermined
 		rep.Skipped += res.stat.Skipped
+		rep.BackendChecks += res.stat.BackendChecks
 		if res.stat.Instances > 0 {
 			rep.Exercised++
 		}
@@ -255,12 +283,13 @@ func (res *ruleResult) checkExploration(r rules.ExplorationRule, inst *instance)
 	}
 	res.stat.Instances++
 	outCols := m.Group(g).Cols.Sorted()
-	base := lower(wrapProject(inst.tree, outCols))
+	baseTree := wrapProject(inst.tree, outCols)
+	base := lower(baseTree)
 	alts := make([]*physical.Expr, len(altTrees))
 	for i, t := range altTrees {
 		alts[i] = lower(wrapProject(t, outCols))
 	}
-	res.comparePlans(r, inst, base, alts)
+	res.comparePlans(r, inst, baseTree, base, alts)
 }
 
 // checkImplementation asks the rule for its physical candidates over one
@@ -288,7 +317,7 @@ func (res *ruleResult) checkImplementation(r rules.ImplementationRule, inst *ins
 		return
 	}
 	res.stat.Instances++
-	res.comparePlans(r, inst, lower(inst.tree), alts)
+	res.comparePlans(r, inst, inst.tree, lower(inst.tree), alts)
 }
 
 // comparePlans sweeps every database over the live (structurally different)
@@ -297,7 +326,7 @@ func (res *ruleResult) checkImplementation(r rules.ImplementationRule, inst *ins
 // pristine identity-shaped implementation rules (SelectToFilter, SortToSort,
 // LimitToLimit, ...) verify with zero executions while their mutated
 // variants, whose payloads differ, still get the full sweep.
-func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, base *physical.Expr, alts []*physical.Expr) {
+func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, baseTree *logical.Expr, base *physical.Expr, alts []*physical.Expr) {
 	baseHash := base.Hash()
 	var live []*physical.Expr
 	for _, alt := range alts {
@@ -308,7 +337,7 @@ func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, base *physical
 		}
 		live = append(live, alt)
 	}
-	if len(live) == 0 {
+	if len(live) == 0 && !res.cfg.backendOn {
 		return
 	}
 	baseOrder := exec.RootOrder(base)
@@ -326,6 +355,24 @@ func (res *ruleResult) comparePlans(r rules.Rule, inst *instance, base *physical
 			res.stat.Pairs += len(live)
 			res.stat.Skipped += len(live)
 			continue
+		}
+		if res.cfg.backendOn {
+			bx := &suite.BaseExec{Plan: base, Rows: baseRows, Hash: baseHash, Order: baseOrder}
+			out, err := suite.CrossCheckBase(res.cfg.Cache, res.cfg.backend, exec.EngineBatch,
+				baseTree, bx, cat, maxResultRows, maxWorkRows)
+			switch {
+			case err != nil:
+				res.fail(r, inst, db, base, base, "backend cross-check: "+err.Error())
+			case out.Skipped || out.Capped:
+			default:
+				res.stat.BackendChecks++
+				switch out.Verdict {
+				case exec.VerdictMismatch:
+					res.fail(r, inst, db, base, base, "backend cross-check: "+out.Detail)
+				case exec.VerdictUndetermined:
+					res.stat.Undetermined++
+				}
+			}
 		}
 		for i, alt := range live {
 			res.stat.Pairs++
@@ -357,7 +404,11 @@ func (res *ruleResult) fail(r rules.Rule, inst *instance, db database, base, alt
 	if res.finding != nil {
 		return
 	}
-	repro := "qtrtest verify"
+	repro := "qtrtest"
+	if res.cfg.Backend != "" {
+		repro += " -backend " + res.cfg.Backend
+	}
+	repro += " verify"
 	if res.cfg.Mutant != "" {
 		repro += " -mutant " + res.cfg.Mutant
 	}

@@ -15,11 +15,19 @@ import (
 // instance) or the fuzzer's oracles drifted from the executor semantics the
 // verifier pins. Run on two seeds so the fuzz half is not a single-sample
 // fluke.
+//
+// Both halves run with the independent reference backend ("ref") as a third
+// oracle: every bounded-exhaustive verify pair and every fuzz base query is
+// additionally replayed on the reference interpreter, so the property also
+// covers faults shared by the optimizer and both production executors —
+// exactly the class the self-differential comparison is structurally blind
+// to. BackendChecks must be nonzero on both halves or the replay silently
+// went missing and the extended property is vacuous.
 func TestVerifyCleanImpliesFuzzClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzz campaign in -short mode")
 	}
-	vrep, err := qtrtest.VerifyRules(qtrtest.VerifyConfig{})
+	vrep, err := qtrtest.VerifyRules(qtrtest.VerifyConfig{Backend: "ref"})
 	if err != nil {
 		t.Fatalf("verify: %v", err)
 	}
@@ -27,11 +35,14 @@ func TestVerifyCleanImpliesFuzzClean(t *testing.T) {
 		for _, f := range vrep.Findings {
 			t.Errorf("verify flagged pristine rule #%d %s: %s", f.Rule, f.RuleName, f.Detail)
 		}
-		t.Fatal("premise failed: pristine registry is not verify-clean")
+		t.Fatal("premise failed: pristine registry is not verify-clean under the reference backend")
+	}
+	if vrep.BackendChecks == 0 {
+		t.Error("verify replayed no pairs on the reference backend; the cross-engine half is vacuous")
 	}
 	for _, seed := range []int64{1, 42} {
 		db := qtrtest.OpenTPCH(0.5, seed)
-		frep, err := db.Fuzz(qtrtest.FuzzConfig{Seed: seed, N: 96, DB: "tpch"})
+		frep, err := db.Fuzz(qtrtest.FuzzConfig{Seed: seed, N: 96, DB: "tpch", Backend: "ref"})
 		if err != nil {
 			t.Fatalf("seed %d: fuzz: %v", seed, err)
 		}
@@ -41,6 +52,9 @@ func TestVerifyCleanImpliesFuzzClean(t *testing.T) {
 		}
 		if frep.PlanExecutions == 0 {
 			t.Errorf("seed %d: fuzz executed no plans; the property check is vacuous", seed)
+		}
+		if frep.BackendChecks == 0 {
+			t.Errorf("seed %d: fuzz replayed no base queries on the reference backend", seed)
 		}
 	}
 }
